@@ -1,0 +1,39 @@
+//! Criterion benchmark of the Figure 1 FIR sweep machinery: one latency
+//! measurement point at a representative FIR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_monitor::{sweep_fir, FirSweepConfig};
+use noc_sim::{NocConfig, NodeId};
+use noc_traffic::{BenignWorkload, SyntheticPattern};
+
+fn bench_fir_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fir_sweep");
+    group.sample_size(10);
+    for &fir in &[0.2f64, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::new("single_point_8x8_2000_cycles", format!("fir_{fir}")),
+            &fir,
+            |b, &fir| {
+                b.iter(|| {
+                    let config = FirSweepConfig {
+                        noc: NocConfig::mesh(8, 8),
+                        workload: BenignWorkload::Synthetic(
+                            SyntheticPattern::UniformRandom,
+                            0.02,
+                        ),
+                        attackers: vec![NodeId(63)],
+                        victim: NodeId(0),
+                        firs: vec![fir],
+                        cycles: 2_000,
+                        seed: 7,
+                    };
+                    sweep_fir(&config)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fir_sweep);
+criterion_main!(benches);

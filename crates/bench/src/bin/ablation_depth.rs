@@ -1,0 +1,59 @@
+//! Ablation: localizer depth versus dice accuracy versus hardware cost
+//! (DESIGN.md §5). The paper notes that "adding more convolutional layers
+//! might enhance dice accuracy, but it would substantially inflate the
+//! model's hardware overhead".
+
+use dl2fence::input::direction_masks;
+use dl2fence::DosLocalizer;
+use dl2fence_bench::{collect_split, stp_workloads, ExperimentScale};
+use hw_overhead::area::AcceleratorParams;
+use noc_monitor::FeatureKind;
+use noc_sim::Direction;
+use tinycnn::{dice_coefficient, Tensor};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mesh = scale.stp_mesh;
+    println!("Ablation — localizer depth vs dice accuracy vs area ({mesh}x{mesh} mesh)");
+    let (train, test) = collect_split(&stp_workloads(&scale), mesh, &scale);
+    let attack_tests: Vec<_> = test.iter().filter(|s| s.truth.under_attack).collect();
+
+    println!(
+        "{:>11} {:>10} {:>12} {:>14}",
+        "conv layers", "params", "mean dice", "accel gates"
+    );
+    for conv_layers in [2usize, 3, 4] {
+        let mut localizer = DosLocalizer::with_architecture(mesh, mesh, 8, conv_layers, scale.seed);
+        localizer.train(&train, FeatureKind::Boc, scale.localizer_epochs, scale.seed);
+        // Mean dice over every direction of every attack test sample.
+        let mut dice_sum = 0.0;
+        let mut count = 0usize;
+        for s in &attack_tests {
+            let segs = localizer.segment_bundle(&s.boc);
+            let masks = direction_masks(&s.truth);
+            for dir in Direction::CARDINAL {
+                let pred = Tensor::from_vec(segs[dir.index()].clone(), &[mesh * mesh]);
+                let truth = Tensor::from_vec(masks[dir.index()].clone(), &[mesh * mesh]);
+                dice_sum += dice_coefficient(&pred, &truth, 0.5);
+                count += 1;
+            }
+        }
+        // Area of an accelerator storing this model's weights.
+        let accel = AcceleratorParams {
+            weight_count: localizer.parameter_count(),
+            ..AcceleratorParams::localizer()
+        };
+        println!(
+            "{:>11} {:>10} {:>12.3} {:>14.0}",
+            conv_layers,
+            localizer.parameter_count(),
+            dice_sum / count.max(1) as f64,
+            accel.gates()
+        );
+    }
+    println!();
+    println!(
+        "Expected shape: dice accuracy saturates after 2–3 layers while the\n\
+         accelerator area keeps growing — the paper's rationale for the minimal model."
+    );
+}

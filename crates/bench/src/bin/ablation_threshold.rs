@@ -1,0 +1,46 @@
+//! Ablation: Multi-Frame-Fusion binarization threshold sweep (DESIGN.md §5).
+//!
+//! Trains one DL2Fence instance and re-evaluates localization with different
+//! binarization thresholds applied to the segmentation outputs.
+
+use dl2fence::evaluation::evaluate;
+use dl2fence::{Dl2Fence, FenceConfig};
+use dl2fence_bench::{collect_split, stp_workloads, ExperimentScale};
+use noc_monitor::FeatureKind;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mesh = scale.stp_mesh;
+    println!("Ablation — MFF binarization threshold sweep ({mesh}x{mesh} mesh)");
+    let (train, test) = collect_split(&stp_workloads(&scale), mesh, &scale);
+
+    println!(
+        "{:>9} {:>10} {:>11} {:>8} {:>8}",
+        "threshold", "accuracy", "precision", "recall", "f1"
+    );
+    for threshold in [0.3f32, 0.4, 0.5, 0.6, 0.7] {
+        let mut config = FenceConfig::new(mesh, mesh)
+            .with_seed(scale.seed)
+            .with_epochs(scale.detector_epochs, scale.localizer_epochs);
+        config.detection_feature = FeatureKind::Vco;
+        config.localization_feature = FeatureKind::Boc;
+        config.fusion_threshold = threshold;
+        let mut fence = Dl2Fence::new(config);
+        fence.train(&train);
+        let report = evaluate(&mut fence, &test);
+        let loc = report.overall_localization();
+        println!(
+            "{:>9.1} {:>10.3} {:>11.3} {:>8.3} {:>8.3}",
+            threshold,
+            loc.accuracy(),
+            loc.precision(),
+            loc.recall(),
+            loc.f1()
+        );
+    }
+    println!();
+    println!(
+        "Expected shape: low thresholds trade precision for recall; the default 0.5\n\
+         sits near the F1 optimum."
+    );
+}

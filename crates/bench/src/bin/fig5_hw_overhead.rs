@@ -1,0 +1,26 @@
+//! Regenerates **Figure 5**: DL2Fence hardware overhead versus NoC size
+//! (4×4, 8×8, 16×16, 32×32), plus the 8×8→16×16 reduction headline.
+
+use hw_overhead::{AreaModel, RouterParams};
+
+fn main() {
+    let model = AreaModel::new(RouterParams::default());
+    println!("Figure 5 — hardware overhead vs NoC size (analytical area model)");
+    println!("{:>8} {:>16} {:>16} {:>12}", "NoC", "NoC gates", "DL2Fence gates", "overhead");
+    for n in [4usize, 8, 16, 32] {
+        println!(
+            "{:>5}x{:<2} {:>16.0} {:>16.0} {:>11.2}%",
+            n,
+            n,
+            model.noc_gates(n),
+            model.dl2fence_gates(),
+            model.dl2fence_overhead(n) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "8x8 -> 16x16 overhead reduction: {:.1}% (paper reports 76.3%)",
+        model.overhead_reduction(8, 16) * 100.0
+    );
+    println!("Paper reference points: 7.4% (4x4), 1.9% (8x8), 0.45% (16x16), 0.11% (32x32).");
+}

@@ -1,0 +1,277 @@
+//! # dl2fence-bench — harness regenerating every table and figure of the
+//! DL2Fence paper
+//!
+//! Each binary in `src/bin/` regenerates one table or figure (see
+//! DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
+//! results); the Criterion benches in `benches/` measure the runtime cost of
+//! the simulator and of model inference.
+//!
+//! All experiment binaries accept `--full` (or the environment variable
+//! `DL2FENCE_FULL=1`) to run at the paper's scale (16×16 mesh for the
+//! synthetic patterns, more attack placements, longer sampling windows).
+//! Without it they run a reduced "quick" configuration that finishes in
+//! seconds and preserves the papers' qualitative shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dl2fence::evaluation::evaluate;
+use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
+use noc_monitor::dataset::specs_for_benchmark;
+use noc_monitor::{CollectionConfig, DatasetGenerator, FeatureKind, LabeledSample};
+use noc_sim::NocConfig;
+use noc_traffic::{BenignWorkload, ParsecWorkload, SyntheticPattern};
+
+pub use dl2fence::evaluation::BenchmarkMetrics;
+
+/// Scale of one table/figure experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Mesh side used for the synthetic-traffic-pattern benchmarks.
+    pub stp_mesh: usize,
+    /// Mesh side used for the PARSEC-like benchmarks (the paper is limited
+    /// to 8×8 for PARSEC by gem5).
+    pub parsec_mesh: usize,
+    /// Attack placements per benchmark.
+    pub attacks_per_benchmark: usize,
+    /// Attack-free runs per benchmark.
+    pub benign_runs: usize,
+    /// Sampling window length in cycles.
+    pub sample_period: u64,
+    /// Warm-up cycles before the first window.
+    pub warmup_cycles: u64,
+    /// Windows sampled per run.
+    pub samples_per_run: usize,
+    /// Flooding injection rate of the attack runs.
+    pub fir: f64,
+    /// Fraction of samples used for training (the rest is the test set).
+    pub train_fraction: f64,
+    /// Detector training epochs.
+    pub detector_epochs: usize,
+    /// Localizer training epochs.
+    pub localizer_epochs: usize,
+    /// Benign injection rate for the synthetic patterns.
+    pub stp_injection_rate: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The reduced configuration used by default: 8×8 meshes and a handful
+    /// of attack placements. Finishes in seconds.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            stp_mesh: 8,
+            parsec_mesh: 8,
+            attacks_per_benchmark: 4,
+            benign_runs: 3,
+            sample_period: 400,
+            warmup_cycles: 200,
+            samples_per_run: 3,
+            fir: 0.8,
+            train_fraction: 0.6,
+            detector_epochs: 40,
+            localizer_epochs: 40,
+            stp_injection_rate: 0.02,
+            seed: 0xDAC,
+        }
+    }
+
+    /// The paper-scale configuration: 16×16 mesh for STP, 18 attack
+    /// placements per benchmark, 1 000-cycle windows, FIR 0.8.
+    pub fn full() -> Self {
+        ExperimentScale {
+            stp_mesh: 16,
+            parsec_mesh: 8,
+            attacks_per_benchmark: 18,
+            benign_runs: 6,
+            sample_period: 1_000,
+            warmup_cycles: 500,
+            samples_per_run: 4,
+            fir: 0.8,
+            train_fraction: 0.6,
+            detector_epochs: 60,
+            localizer_epochs: 60,
+            stp_injection_rate: 0.02,
+            seed: 0xDAC,
+        }
+    }
+
+    /// Chooses quick or full from the process arguments / environment
+    /// (`--full` or `DL2FENCE_FULL=1`).
+    pub fn from_env() -> Self {
+        let full = std::env::args().any(|a| a == "--full")
+            || std::env::var("DL2FENCE_FULL").map(|v| v == "1").unwrap_or(false);
+        if full {
+            Self::full()
+        } else {
+            Self::quick()
+        }
+    }
+}
+
+/// The six synthetic-traffic-pattern benchmarks at the scale's injection
+/// rate.
+pub fn stp_workloads(scale: &ExperimentScale) -> Vec<BenignWorkload> {
+    SyntheticPattern::ALL
+        .into_iter()
+        .map(|p| BenignWorkload::Synthetic(p, scale.stp_injection_rate))
+        .collect()
+}
+
+/// The three PARSEC-like benchmarks.
+pub fn parsec_workloads() -> Vec<BenignWorkload> {
+    ParsecWorkload::ALL
+        .into_iter()
+        .map(BenignWorkload::Parsec)
+        .collect()
+}
+
+/// Collects the labeled samples of one benchmark group (`workloads`) on a
+/// `mesh × mesh` NoC and splits them into train and test sets.
+pub fn collect_split(
+    workloads: &[BenignWorkload],
+    mesh: usize,
+    scale: &ExperimentScale,
+) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
+    let collection = CollectionConfig {
+        noc: NocConfig::mesh(mesh, mesh),
+        warmup_cycles: scale.warmup_cycles,
+        sample_period: scale.sample_period,
+        samples_per_run: scale.samples_per_run,
+        seed: scale.seed,
+    };
+    let generator = DatasetGenerator::new(collection);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for workload in workloads {
+        let specs = specs_for_benchmark(
+            *workload,
+            mesh,
+            mesh,
+            scale.attacks_per_benchmark,
+            scale.benign_runs,
+            scale.fir,
+        );
+        let samples = generator.collect(&specs);
+        // Interleave into train/test deterministically so both classes and
+        // all attack placements appear on both sides.
+        let cut_stride = (1.0 / (1.0 - scale.train_fraction).max(0.05)).round() as usize;
+        for (i, s) in samples.into_iter().enumerate() {
+            if cut_stride > 1 && i % cut_stride == cut_stride - 1 {
+                test.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+    }
+    (train, test)
+}
+
+/// The result of one table experiment: the evaluation reports of the STP and
+/// PARSEC benchmark groups.
+#[derive(Debug)]
+pub struct TableResult {
+    /// Per-benchmark metrics on the synthetic traffic patterns.
+    pub stp: EvaluationReport,
+    /// Per-benchmark metrics on the PARSEC-like workloads.
+    pub parsec: EvaluationReport,
+}
+
+/// Runs one of the paper's table experiments: trains DL2Fence with the given
+/// feature assignment and evaluates it per benchmark.
+///
+/// * Table 1 → `detection = VCO, localization = VCO`
+/// * Table 2 → `detection = BOC, localization = BOC`
+/// * Table 3 → `detection = VCO, localization = BOC`
+pub fn run_table_experiment(
+    detection: FeatureKind,
+    localization: FeatureKind,
+    scale: &ExperimentScale,
+) -> TableResult {
+    let stp = run_group(
+        &stp_workloads(scale),
+        scale.stp_mesh,
+        detection,
+        localization,
+        scale,
+    );
+    let parsec = run_group(
+        &parsec_workloads(),
+        scale.parsec_mesh,
+        detection,
+        localization,
+        scale,
+    );
+    TableResult { stp, parsec }
+}
+
+/// Trains one DL2Fence instance on a benchmark group and evaluates it on the
+/// held-out test samples.
+pub fn run_group(
+    workloads: &[BenignWorkload],
+    mesh: usize,
+    detection: FeatureKind,
+    localization: FeatureKind,
+    scale: &ExperimentScale,
+) -> EvaluationReport {
+    let (train, test) = collect_split(workloads, mesh, scale);
+    let mut config = FenceConfig::new(mesh, mesh)
+        .with_seed(scale.seed)
+        .with_epochs(scale.detector_epochs, scale.localizer_epochs);
+    config.detection_feature = detection;
+    config.localization_feature = localization;
+    let mut fence = Dl2Fence::new(config);
+    fence.train(&train);
+    evaluate(&mut fence, &test)
+}
+
+/// Prints a table experiment in the paper's layout.
+pub fn print_table(title: &str, result: &TableResult) {
+    println!("=== {title} ===");
+    println!("--- Synthetic Traffic Patterns ---");
+    print!("{}", result.stp.render_table());
+    println!("--- PARSEC-like workloads ---");
+    print!("{}", result.parsec.render_table());
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_full() {
+        let q = ExperimentScale::quick();
+        let f = ExperimentScale::full();
+        assert!(q.stp_mesh <= f.stp_mesh);
+        assert!(q.attacks_per_benchmark < f.attacks_per_benchmark);
+        assert_eq!(f.stp_mesh, 16);
+        assert_eq!(f.attacks_per_benchmark, 18);
+    }
+
+    #[test]
+    fn workload_lists_cover_the_paper_benchmarks() {
+        let scale = ExperimentScale::quick();
+        assert_eq!(stp_workloads(&scale).len(), 6);
+        assert_eq!(parsec_workloads().len(), 3);
+    }
+
+    #[test]
+    fn collect_split_produces_both_partitions() {
+        let mut scale = ExperimentScale::quick();
+        scale.attacks_per_benchmark = 2;
+        scale.benign_runs = 1;
+        scale.samples_per_run = 2;
+        scale.sample_period = 200;
+        scale.warmup_cycles = 100;
+        let workloads = vec![BenignWorkload::Synthetic(
+            SyntheticPattern::UniformRandom,
+            0.02,
+        )];
+        let (train, test) = collect_split(&workloads, 8, &scale);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+        assert!(train.len() > test.len());
+    }
+}

@@ -1,0 +1,279 @@
+//! Multi-Frame Fusion (MFF): merging per-direction segmentation results into
+//! a single victim map (Algorithm 1 of the paper).
+
+use noc_sim::{Direction, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The result of fusing the directional segmentation maps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionResult {
+    /// The fused frame: per node, the number of directions that flagged it
+    /// (after binarization and padding).
+    pub fused: Vec<f32>,
+    /// Rows of the (padded) fused frame.
+    pub rows: usize,
+    /// Columns of the (padded) fused frame.
+    pub cols: usize,
+    /// The victims: nodes flagged by at least one direction.
+    pub victims: Vec<NodeId>,
+    /// The directions whose segmentation contained at least one flagged
+    /// pixel (the "abnormal frames" consumed by the Table-Like Method).
+    pub abnormal_directions: Vec<Direction>,
+    /// Per-direction flagged node sets (used by the Table-Like Method to
+    /// compute `Max('D')` / `Min('D')`).
+    pub flagged_by_direction: [Vec<NodeId>; 4],
+}
+
+impl FusionResult {
+    /// Whether fusion found any victim at all.
+    pub fn has_victims(&self) -> bool {
+        !self.victims.is_empty()
+    }
+}
+
+/// Multi-Frame Fusion: binarize each directional segmentation map, zero-pad
+/// it to a standard grid, and accumulate the four maps. Nodes with a fused
+/// value ≥ 1 are victims.
+///
+/// The paper pads to a fixed 16×16 grid so one accelerator services every
+/// mesh size; padding is a no-op when the mesh is already that large.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiFrameFusion {
+    /// Segmentation probability threshold used for binarization.
+    pub threshold: f32,
+    /// Rows of the padded fusion grid.
+    pub target_rows: usize,
+    /// Columns of the padded fusion grid.
+    pub target_cols: usize,
+}
+
+impl MultiFrameFusion {
+    /// Creates a fusion stage with the paper's defaults: threshold 0.5 and a
+    /// 16×16 fusion grid.
+    pub fn new() -> Self {
+        MultiFrameFusion {
+            threshold: 0.5,
+            target_rows: 16,
+            target_cols: 16,
+        }
+    }
+
+    /// Creates a fusion stage for a specific mesh size (no padding beyond
+    /// the mesh itself).
+    pub fn for_mesh(rows: usize, cols: usize) -> Self {
+        MultiFrameFusion {
+            threshold: 0.5,
+            target_rows: rows.max(16),
+            target_cols: cols.max(16),
+        }
+    }
+
+    /// Overrides the binarization threshold (used by the threshold ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `(0, 1)`.
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0, 1)"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// Fuses the four directional segmentation maps (each a `rows × cols`
+    /// row-major probability buffer in E, N, W, S order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any map's length differs from `rows * cols`.
+    pub fn fuse(
+        &self,
+        segmentations: &[Vec<f32>; 4],
+        rows: usize,
+        cols: usize,
+    ) -> FusionResult {
+        for seg in segmentations {
+            assert_eq!(seg.len(), rows * cols, "segmentation size mismatch");
+        }
+        let out_rows = self.target_rows.max(rows);
+        let out_cols = self.target_cols.max(cols);
+        let mut fused = vec![0.0f32; out_rows * out_cols];
+        let mut abnormal_directions = Vec::new();
+        let mut flagged_by_direction: [Vec<NodeId>; 4] =
+            [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+
+        for (d, seg) in segmentations.iter().enumerate() {
+            let mut any = false;
+            for y in 0..rows {
+                for x in 0..cols {
+                    if seg[y * cols + x] > self.threshold {
+                        any = true;
+                        fused[y * out_cols + x] += 1.0;
+                        let node = NodeId(y * cols + x);
+                        if !flagged_by_direction[d].contains(&node) {
+                            flagged_by_direction[d].push(node);
+                        }
+                    }
+                }
+            }
+            if any {
+                abnormal_directions.push(Direction::from_index(d));
+            }
+        }
+
+        // Victims: any node of the *original* mesh flagged at least once.
+        let mut victims = Vec::new();
+        for y in 0..rows {
+            for x in 0..cols {
+                if fused[y * out_cols + x] >= 1.0 {
+                    victims.push(NodeId(y * cols + x));
+                }
+            }
+        }
+        victims.sort();
+        for f in &mut flagged_by_direction {
+            f.sort();
+        }
+
+        FusionResult {
+            fused,
+            rows: out_rows,
+            cols: out_cols,
+            victims,
+            abnormal_directions,
+            flagged_by_direction,
+        }
+    }
+}
+
+impl Default for MultiFrameFusion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg_with(rows: usize, cols: usize, nodes: &[usize]) -> Vec<f32> {
+        let mut v = vec![0.0f32; rows * cols];
+        for &n in nodes {
+            v[n] = 0.9;
+        }
+        v
+    }
+
+    #[test]
+    fn empty_segmentations_fuse_to_nothing() {
+        let mff = MultiFrameFusion::for_mesh(4, 4);
+        let segs = [
+            vec![0.0; 16],
+            vec![0.0; 16],
+            vec![0.0; 16],
+            vec![0.0; 16],
+        ];
+        let r = mff.fuse(&segs, 4, 4);
+        assert!(!r.has_victims());
+        assert!(r.abnormal_directions.is_empty());
+    }
+
+    #[test]
+    fn single_direction_route_is_reconstructed() {
+        let mff = MultiFrameFusion::for_mesh(4, 4);
+        // East frame flags nodes 0, 1, 2 (a westward flood along row 0).
+        let segs = [
+            seg_with(4, 4, &[0, 1, 2]),
+            vec![0.0; 16],
+            vec![0.0; 16],
+            vec![0.0; 16],
+        ];
+        let r = mff.fuse(&segs, 4, 4);
+        assert_eq!(r.victims, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(r.abnormal_directions, vec![Direction::East]);
+        assert_eq!(r.flagged_by_direction[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn fusion_unions_multiple_directions() {
+        let mff = MultiFrameFusion::for_mesh(4, 4);
+        // L-shaped route: east leg on row 0 plus north leg on column 0.
+        let segs = [
+            seg_with(4, 4, &[1, 2]),
+            seg_with(4, 4, &[0, 4, 8]),
+            vec![0.0; 16],
+            vec![0.0; 16],
+        ];
+        let r = mff.fuse(&segs, 4, 4);
+        assert_eq!(
+            r.victims,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4), NodeId(8)]
+        );
+        assert_eq!(
+            r.abnormal_directions,
+            vec![Direction::East, Direction::North]
+        );
+    }
+
+    #[test]
+    fn overlapping_pixels_accumulate() {
+        let mff = MultiFrameFusion::for_mesh(4, 4);
+        let segs = [
+            seg_with(4, 4, &[5]),
+            seg_with(4, 4, &[5]),
+            vec![0.0; 16],
+            vec![0.0; 16],
+        ];
+        let r = mff.fuse(&segs, 4, 4);
+        // Node 5 = (x=1, y=1) → padded index y*out_cols + x.
+        assert_eq!(r.fused[1 * r.cols + 1], 2.0);
+        assert_eq!(r.victims, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn fused_frame_is_padded_to_16x16() {
+        let mff = MultiFrameFusion::new();
+        let segs = [
+            seg_with(4, 4, &[3]),
+            vec![0.0; 16],
+            vec![0.0; 16],
+            vec![0.0; 16],
+        ];
+        let r = mff.fuse(&segs, 4, 4);
+        assert_eq!(r.rows, 16);
+        assert_eq!(r.cols, 16);
+        assert_eq!(r.fused.len(), 256);
+        // Node 3 of the 4x4 mesh is (x=3, y=0) → padded index 3.
+        assert_eq!(r.fused[3], 1.0);
+        assert_eq!(r.victims, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn threshold_controls_binarization() {
+        let strict = MultiFrameFusion::for_mesh(4, 4).with_threshold(0.95);
+        let segs = [
+            seg_with(4, 4, &[1]), // value 0.9 < 0.95
+            vec![0.0; 16],
+            vec![0.0; 16],
+            vec![0.0; 16],
+        ];
+        let r = strict.fuse(&segs, 4, 4);
+        assert!(!r.has_victims());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        MultiFrameFusion::new().with_threshold(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_segmentation_panics() {
+        let mff = MultiFrameFusion::for_mesh(4, 4);
+        let segs = [vec![0.0; 4], vec![0.0; 16], vec![0.0; 16], vec![0.0; 16]];
+        mff.fuse(&segs, 4, 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Conversion between monitor feature frames and model tensors, and
+//! construction of per-direction segmentation ground truth.
+
+use noc_monitor::{DirectionalFrames, FeatureFrame, FeatureKind, GroundTruth, LabeledSample};
+use noc_sim::routing::route_input_ports;
+use noc_sim::Direction;
+use tinycnn::Tensor;
+
+/// Converts one directional frame into a single-channel `[1, rows, cols]`
+/// tensor, normalizing first when the feature kind requires it (BOC).
+pub fn frame_to_tensor(frame: &FeatureFrame) -> Tensor {
+    let source = if frame.kind().needs_normalization() {
+        frame.normalized()
+    } else {
+        frame.clone()
+    };
+    Tensor::from_vec(source.data().to_vec(), &[1, frame.rows(), frame.cols()])
+}
+
+/// Converts a four-direction bundle into the detector's 4-channel
+/// `[4, rows, cols]` input tensor (E, N, W, S channel order), normalizing
+/// when the feature requires it.
+pub fn frames_to_detector_input(frames: &DirectionalFrames) -> Tensor {
+    let source = if frames.kind().needs_normalization() {
+        frames.normalized()
+    } else {
+        frames.clone()
+    };
+    Tensor::from_vec(
+        source.to_channels(),
+        &[4, frames.rows(), frames.cols()],
+    )
+}
+
+/// Converts all four directional frames into single-channel `[1, rows, cols]`
+/// tensors scaled by the *bundle-wide* maximum (E, N, W, S order).
+///
+/// Sharing one scale across the four directions is what makes the attack
+/// route stand out to the localizer: the route direction carries the bundle
+/// maximum while quiet directions stay near zero, instead of having their
+/// background noise stretched to full scale by per-frame normalization.
+pub fn frames_to_localizer_inputs(frames: &DirectionalFrames) -> [Tensor; 4] {
+    let scale = frames.max_value();
+    let shape = [1, frames.rows(), frames.cols()];
+    let make = |frame: &FeatureFrame| {
+        if scale <= f32::EPSILON {
+            Tensor::zeros(&shape)
+        } else {
+            Tensor::from_vec(
+                frame.data().iter().map(|v| v / scale).collect(),
+                &shape,
+            )
+        }
+    };
+    let mut out: Vec<Tensor> = frames.iter().map(make).collect();
+    let d = out.pop().expect("four frames");
+    let c = out.pop().expect("four frames");
+    let b = out.pop().expect("four frames");
+    let a = out.pop().expect("four frames");
+    [a, b, c, d]
+}
+
+/// Selects the VCO or BOC bundle of a labeled sample.
+pub fn sample_frames(sample: &LabeledSample, kind: FeatureKind) -> &DirectionalFrames {
+    match kind {
+        FeatureKind::Vco => &sample.vco,
+        FeatureKind::Boc => &sample.boc,
+    }
+}
+
+/// The per-direction segmentation ground truth of a sample: for each
+/// cardinal direction, a `rows × cols` mask marking the routers whose input
+/// port *in that direction* lies on an attack route.
+///
+/// The union of the four masks over all directions equals the victim mask
+/// (the attacking route), which is exactly what Multi-Frame Fusion
+/// reconstructs at inference time.
+pub fn direction_masks(truth: &GroundTruth) -> [Vec<f32>; 4] {
+    let mesh = truth.mesh();
+    let n = truth.rows * truth.cols;
+    let mut masks = [
+        vec![0.0f32; n],
+        vec![0.0f32; n],
+        vec![0.0f32; n],
+        vec![0.0f32; n],
+    ];
+    for &(attacker, victim) in &truth.attack_pairs {
+        for (node, dir) in route_input_ports(attacker, victim, &mesh) {
+            masks[dir.index()][node.0] = 1.0;
+        }
+    }
+    masks
+}
+
+/// The ground-truth mask for one direction as a `[1, rows, cols]` tensor.
+pub fn direction_mask_tensor(truth: &GroundTruth, dir: Direction) -> Tensor {
+    let masks = direction_masks(truth);
+    Tensor::from_vec(
+        masks[dir.index()].clone(),
+        &[1, truth.rows, truth.cols],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NodeId;
+
+    fn truth_single_attack() -> GroundTruth {
+        GroundTruth {
+            under_attack: true,
+            attackers: vec![NodeId(3)],
+            attack_pairs: vec![(NodeId(3), NodeId(0))],
+            victims: vec![NodeId(0), NodeId(1), NodeId(2)],
+            rows: 4,
+            cols: 4,
+        }
+    }
+
+    #[test]
+    fn frame_to_tensor_normalizes_boc() {
+        let frame = FeatureFrame::new(
+            Direction::East,
+            FeatureKind::Boc,
+            2,
+            2,
+            vec![0.0, 10.0, 20.0, 40.0],
+        );
+        let t = frame_to_tensor(&frame);
+        assert_eq!(t.shape(), &[1, 2, 2]);
+        assert_eq!(t.max(), 1.0);
+        assert_eq!(t.min(), 0.0);
+    }
+
+    #[test]
+    fn frame_to_tensor_keeps_vco_raw() {
+        let frame = FeatureFrame::new(
+            Direction::East,
+            FeatureKind::Vco,
+            2,
+            2,
+            vec![0.25, 0.5, 0.5, 0.75],
+        );
+        let t = frame_to_tensor(&frame);
+        assert_eq!(t.data(), &[0.25, 0.5, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn detector_input_has_four_channels() {
+        let frames = DirectionalFrames::new(
+            Direction::CARDINAL
+                .into_iter()
+                .map(|d| FeatureFrame::zeros(d, FeatureKind::Vco, 4, 4))
+                .collect(),
+        );
+        let t = frames_to_detector_input(&frames);
+        assert_eq!(t.shape(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn westward_attack_marks_east_direction_mask() {
+        // Attacker 3 -> victim 0 on a 4x4 mesh: traffic flows west, arriving
+        // on the EAST input ports of nodes 2, 1, 0.
+        let truth = truth_single_attack();
+        let masks = direction_masks(&truth);
+        let east = &masks[Direction::East.index()];
+        assert_eq!(east[0], 1.0);
+        assert_eq!(east[1], 1.0);
+        assert_eq!(east[2], 1.0);
+        assert_eq!(east[3], 0.0);
+        // No other direction sees the attack.
+        for dir in [Direction::North, Direction::West, Direction::South] {
+            assert!(masks[dir.index()].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn union_of_direction_masks_equals_victim_mask() {
+        let truth = GroundTruth {
+            under_attack: true,
+            attackers: vec![NodeId(15)],
+            attack_pairs: vec![(NodeId(15), NodeId(0))],
+            victims: vec![
+                NodeId(0),
+                NodeId(4),
+                NodeId(8),
+                NodeId(12),
+                NodeId(13),
+                NodeId(14),
+            ],
+            rows: 4,
+            cols: 4,
+        };
+        let masks = direction_masks(&truth);
+        let mut union = vec![0.0f32; 16];
+        for m in &masks {
+            for (u, &v) in union.iter_mut().zip(m) {
+                if v > 0.0 {
+                    *u = 1.0;
+                }
+            }
+        }
+        assert_eq!(union, truth.victim_mask());
+    }
+
+    #[test]
+    fn benign_truth_has_empty_masks() {
+        let truth = GroundTruth::benign(4, 4);
+        for m in direction_masks(&truth) {
+            assert!(m.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn mask_tensor_shape() {
+        let truth = truth_single_attack();
+        let t = direction_mask_tensor(&truth, Direction::East);
+        assert_eq!(t.shape(), &[1, 4, 4]);
+        assert_eq!(t.sum(), 3.0);
+    }
+}

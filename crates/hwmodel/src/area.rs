@@ -1,0 +1,293 @@
+//! Gate-count area model of mesh routers, links and the two DL2Fence CNN
+//! accelerators.
+
+use serde::{Deserialize, Serialize};
+
+/// Micro-architectural parameters of one virtual-channel mesh router and its
+/// links, expressed in gate equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterParams {
+    /// Flit width in bits.
+    pub flit_width_bits: usize,
+    /// Virtual channels per input port.
+    pub vcs_per_port: usize,
+    /// Buffer depth (flits) per VC.
+    pub buffer_depth: usize,
+    /// Router ports (5 for a mesh router: E, N, W, S, Local).
+    pub ports: usize,
+    /// Gate equivalents per buffered bit (flip-flop plus mux overhead).
+    pub gates_per_buffer_bit: f64,
+    /// Gate equivalents per crossbar bit-crosspoint.
+    pub gates_per_crossbar_bit: f64,
+    /// Fixed gate cost of the VC and switch allocators.
+    pub allocator_gates: f64,
+    /// Gate equivalents per link bit (driver/repeater proxy).
+    pub gates_per_link_bit: f64,
+}
+
+impl Default for RouterParams {
+    fn default() -> Self {
+        RouterParams {
+            flit_width_bits: 128,
+            vcs_per_port: 4,
+            buffer_depth: 4,
+            ports: 5,
+            gates_per_buffer_bit: 2.2,
+            gates_per_crossbar_bit: 0.6,
+            allocator_gates: 2_500.0,
+            gates_per_link_bit: 2.0,
+        }
+    }
+}
+
+impl RouterParams {
+    /// Gate-equivalent area of one router.
+    pub fn router_gates(&self) -> f64 {
+        let buffer_bits =
+            (self.ports * self.vcs_per_port * self.buffer_depth * self.flit_width_bits) as f64;
+        let crossbar_bits = (self.ports * self.ports * self.flit_width_bits) as f64;
+        buffer_bits * self.gates_per_buffer_bit
+            + crossbar_bits * self.gates_per_crossbar_bit
+            + self.allocator_gates
+    }
+
+    /// Gate-equivalent area of one unidirectional link.
+    pub fn link_gates(&self) -> f64 {
+        self.flit_width_bits as f64 * self.gates_per_link_bit
+    }
+}
+
+/// Parameters of one lightweight CNN accelerator (three pipelined convolution
+/// kernels, per the paper's implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorParams {
+    /// Number of trainable parameters stored on chip.
+    pub weight_count: usize,
+    /// Weight precision in bits.
+    pub weight_bits: usize,
+    /// Gate equivalents per stored weight bit (SRAM).
+    pub gates_per_weight_bit: f64,
+    /// Pipelined multiply–accumulate units (the paper uses three kernels).
+    pub mac_units: usize,
+    /// Gate equivalents per MAC unit at the chosen precision.
+    pub gates_per_mac: f64,
+    /// Fixed control/sequencing logic.
+    pub control_gates: f64,
+}
+
+impl AcceleratorParams {
+    /// The DoS-detector accelerator: one 8-kernel 3×3 conv layer plus a dense
+    /// layer sized for a 16×16 mesh frame.
+    pub fn detector() -> Self {
+        // conv: 8·4·3·3 + 8 bias; dense: (8·7·7)→1 + 1 bias (the 16×16-mesh
+        // frame is 14×14 after the valid 3×3 conv and 7×7 after pooling).
+        let weights = 8 * 4 * 3 * 3 + 8 + 8 * 7 * 7 + 1;
+        AcceleratorParams {
+            weight_count: weights,
+            weight_bits: 16,
+            gates_per_weight_bit: 1.0,
+            mac_units: 3,
+            gates_per_mac: 3_000.0,
+            control_gates: 2_000.0,
+        }
+    }
+
+    /// The DoS-localizer accelerator: three 8-kernel 3×3 conv layers.
+    pub fn localizer() -> Self {
+        let weights = 8 * 3 * 3 + 8 + 8 * 8 * 3 * 3 + 8 + 8 * 3 * 3 + 1;
+        AcceleratorParams {
+            weight_count: weights,
+            weight_bits: 16,
+            gates_per_weight_bit: 1.0,
+            mac_units: 3,
+            gates_per_mac: 3_000.0,
+            control_gates: 2_000.0,
+        }
+    }
+
+    /// Gate-equivalent area of this accelerator.
+    pub fn gates(&self) -> f64 {
+        (self.weight_count * self.weight_bits) as f64 * self.gates_per_weight_bit
+            + self.mac_units as f64 * self.gates_per_mac
+            + self.control_gates
+    }
+}
+
+/// The analytical area model used for Figure 5 and Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    router: RouterParams,
+    detector: AcceleratorParams,
+    localizer: AcceleratorParams,
+}
+
+impl AreaModel {
+    /// Creates the model from router parameters, with the paper's two
+    /// accelerator configurations.
+    pub fn new(router: RouterParams) -> Self {
+        AreaModel {
+            router,
+            detector: AcceleratorParams::detector(),
+            localizer: AcceleratorParams::localizer(),
+        }
+    }
+
+    /// Overrides the accelerator configurations (used by the depth ablation).
+    pub fn with_accelerators(
+        mut self,
+        detector: AcceleratorParams,
+        localizer: AcceleratorParams,
+    ) -> Self {
+        self.detector = detector;
+        self.localizer = localizer;
+        self
+    }
+
+    /// The router parameters.
+    pub fn router_params(&self) -> RouterParams {
+        self.router
+    }
+
+    /// Total NoC gate area of an `n × n` mesh (routers plus links, no tiles —
+    /// matching the paper's "routers, network interfaces and links" basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn noc_gates(&self, n: usize) -> f64 {
+        assert!(n > 0, "mesh size must be non-zero");
+        let routers = (n * n) as f64 * self.router.router_gates();
+        // 2·n·(n−1) bidirectional links = 4·n·(n−1) unidirectional channels.
+        let links = (4 * n * (n - 1)) as f64 * self.router.link_gates();
+        routers + links
+    }
+
+    /// Combined gate area of the two global DL2Fence accelerators
+    /// (independent of mesh size).
+    pub fn dl2fence_gates(&self) -> f64 {
+        self.detector.gates() + self.localizer.gates()
+    }
+
+    /// DL2Fence hardware overhead on an `n × n` mesh:
+    /// accelerator area / NoC area.
+    pub fn dl2fence_overhead(&self, n: usize) -> f64 {
+        self.dl2fence_gates() / self.noc_gates(n)
+    }
+
+    /// Overhead of a *distributed* scheme that adds `per_router_fraction`
+    /// (e.g. 0.033 for Sniffer's 3.3 %) of a router's area to every router —
+    /// constant in mesh size, shown for contrast in Table 4.
+    pub fn distributed_overhead(&self, per_router_fraction: f64) -> f64 {
+        per_router_fraction
+    }
+
+    /// The relative overhead reduction between two mesh sizes, e.g.
+    /// `overhead_reduction(8, 16)` reproduces the paper's "76.3 % decrease
+    /// when scaling from 8×8 to 16×16".
+    pub fn overhead_reduction(&self, from: usize, to: usize) -> f64 {
+        let a = self.dl2fence_overhead(from);
+        let b = self.dl2fence_overhead(to);
+        (a - b) / a
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::new(RouterParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accelerator_area_is_tens_of_kilogates() {
+        let total = AreaModel::default().dl2fence_gates();
+        assert!(
+            (20_000.0..100_000.0).contains(&total),
+            "two tiny CNN accelerators should be a few tens of kGE, got {total}"
+        );
+    }
+
+    #[test]
+    fn overhead_decreases_with_mesh_size() {
+        let m = AreaModel::default();
+        let o4 = m.dl2fence_overhead(4);
+        let o8 = m.dl2fence_overhead(8);
+        let o16 = m.dl2fence_overhead(16);
+        let o32 = m.dl2fence_overhead(32);
+        assert!(o4 > o8 && o8 > o16 && o16 > o32);
+    }
+
+    #[test]
+    fn overhead_scales_roughly_as_inverse_square() {
+        let m = AreaModel::default();
+        let ratio = m.dl2fence_overhead(8) / m.dl2fence_overhead(16);
+        assert!(
+            (3.4..4.6).contains(&ratio),
+            "8x8 vs 16x16 overhead ratio should be ~4x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn reduction_from_8_to_16_matches_paper_claim() {
+        // Paper: 76.3 % decrease from 8x8 to 16x16.
+        let r = AreaModel::default().overhead_reduction(8, 16);
+        assert!(
+            (0.70..0.82).contains(&r),
+            "reduction should be close to 76 %, got {}",
+            r * 100.0
+        );
+    }
+
+    #[test]
+    fn overhead_magnitudes_are_in_the_papers_regime() {
+        let m = AreaModel::default();
+        // Paper: 1.9 % at 8x8 and 0.45 % at 16x16. The analytical model only
+        // needs to land in the same regime (single-digit percent at 8x8,
+        // sub-percent at 16x16).
+        assert!(m.dl2fence_overhead(8) < 0.06);
+        assert!(m.dl2fence_overhead(8) > 0.005);
+        assert!(m.dl2fence_overhead(16) < 0.015);
+        assert!(m.dl2fence_overhead(32) < 0.004);
+    }
+
+    #[test]
+    fn global_scheme_beats_distributed_on_large_meshes() {
+        let m = AreaModel::default();
+        // Sniffer reports 3.3 % per router, constant in size.
+        let sniffer = m.distributed_overhead(0.033);
+        assert!(m.dl2fence_overhead(16) < sniffer);
+        assert!(m.dl2fence_overhead(32) < sniffer);
+    }
+
+    #[test]
+    fn router_area_dominated_by_buffers() {
+        let p = RouterParams::default();
+        let buffer_gates = (p.ports * p.vcs_per_port * p.buffer_depth * p.flit_width_bits) as f64
+            * p.gates_per_buffer_bit;
+        assert!(buffer_gates > 0.5 * p.router_gates());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_mesh_panics() {
+        AreaModel::default().noc_gates(0);
+    }
+
+    proptest! {
+        #[test]
+        fn overhead_is_monotonically_decreasing(n in 2usize..40) {
+            let m = AreaModel::default();
+            prop_assert!(m.dl2fence_overhead(n + 1) < m.dl2fence_overhead(n));
+        }
+
+        #[test]
+        fn noc_area_grows_superlinearly(n in 2usize..40) {
+            let m = AreaModel::default();
+            prop_assert!(m.noc_gates(2 * n) > 3.9 * m.noc_gates(n));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The related-works comparison behind Table 4.
+
+use crate::area::AreaModel;
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table 4 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonEntry {
+    /// Citation label used in the paper ("[2]", "[13]", "[8]", "Our Work").
+    pub work: String,
+    /// The ML model(s) the scheme uses.
+    pub ml_model: String,
+    /// Whether the scheme targets flooding DoS specifically.
+    pub targets_fdos: bool,
+    /// Hardware overhead as a fraction of router/NoC area
+    /// (`None` when the original work does not report it).
+    pub hardware_overhead: Option<f64>,
+    /// Whether the overhead is per-router (distributed) or global.
+    pub distributed: bool,
+    /// Largest NoC scale evaluated (mesh side length).
+    pub noc_scale: usize,
+    /// Reported detection accuracy (`None` if not reported).
+    pub detection_accuracy: Option<f64>,
+    /// Reported detection precision.
+    pub detection_precision: Option<f64>,
+    /// Reported localization accuracy.
+    pub localization_accuracy: Option<f64>,
+    /// Reported localization precision.
+    pub localization_precision: Option<f64>,
+}
+
+/// The literature rows of Table 4 (values as reported by the cited works).
+pub fn related_works() -> Vec<ComparisonEntry> {
+    vec![
+        ComparisonEntry {
+            work: "[2] Sniffer".to_string(),
+            ml_model: "Perceptron".to_string(),
+            targets_fdos: true,
+            hardware_overhead: Some(0.033),
+            distributed: true,
+            noc_scale: 8,
+            detection_accuracy: Some(0.976),
+            detection_precision: None,
+            localization_accuracy: Some(0.967),
+            localization_precision: None,
+        },
+        ComparisonEntry {
+            work: "[13] Kulkarni et al.".to_string(),
+            ml_model: "SVM".to_string(),
+            targets_fdos: false,
+            hardware_overhead: Some(0.09),
+            distributed: true,
+            noc_scale: 4,
+            detection_accuracy: Some(0.955),
+            detection_precision: Some(0.945),
+            localization_accuracy: None,
+            localization_precision: None,
+        },
+        ComparisonEntry {
+            work: "[8] Sudusinghe et al.".to_string(),
+            ml_model: "XGBoost".to_string(),
+            targets_fdos: true,
+            hardware_overhead: None,
+            distributed: false,
+            noc_scale: 4,
+            detection_accuracy: Some(0.96),
+            detection_precision: Some(0.948),
+            localization_accuracy: None,
+            localization_precision: None,
+        },
+    ]
+}
+
+/// Builds the "Our Work" row from the analytical area model and measured
+/// detection/localization metrics.
+pub fn our_work_entry(
+    model: &AreaModel,
+    mesh_side: usize,
+    detection_accuracy: f64,
+    detection_precision: f64,
+    localization_accuracy: f64,
+    localization_precision: f64,
+) -> ComparisonEntry {
+    ComparisonEntry {
+        work: "Our Work (DL2Fence)".to_string(),
+        ml_model: "CNN Classifier + Segmentor".to_string(),
+        targets_fdos: true,
+        hardware_overhead: Some(model.dl2fence_overhead(mesh_side)),
+        distributed: false,
+        noc_scale: mesh_side,
+        detection_accuracy: Some(detection_accuracy),
+        detection_precision: Some(detection_precision),
+        localization_accuracy: Some(localization_accuracy),
+        localization_precision: Some(localization_precision),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn related_works_has_three_entries() {
+        let works = related_works();
+        assert_eq!(works.len(), 3);
+        assert!(works.iter().any(|w| w.ml_model == "Perceptron"));
+        assert!(works.iter().any(|w| w.ml_model == "SVM"));
+        assert!(works.iter().any(|w| w.ml_model == "XGBoost"));
+    }
+
+    #[test]
+    fn our_entry_reports_lower_overhead_than_distributed_schemes_at_16x16() {
+        let model = AreaModel::default();
+        let ours = our_work_entry(&model, 16, 0.958, 0.985, 0.917, 0.993);
+        let sniffer = &related_works()[0];
+        assert!(ours.hardware_overhead.unwrap() < sniffer.hardware_overhead.unwrap());
+        assert_eq!(ours.noc_scale, 16);
+        assert!(!ours.distributed);
+    }
+
+    #[test]
+    fn our_entry_carries_measured_metrics() {
+        let model = AreaModel::default();
+        let ours = our_work_entry(&model, 8, 0.9, 0.95, 0.85, 0.97);
+        assert_eq!(ours.detection_accuracy, Some(0.9));
+        assert_eq!(ours.localization_precision, Some(0.97));
+    }
+
+    #[test]
+    fn literature_values_match_paper_table() {
+        let works = related_works();
+        assert_eq!(works[0].hardware_overhead, Some(0.033));
+        assert_eq!(works[1].hardware_overhead, Some(0.09));
+        assert_eq!(works[2].hardware_overhead, None);
+        assert_eq!(works[0].detection_accuracy, Some(0.976));
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimal in-memory dataset and mini-batching support.
+
+use crate::tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One mini-batch of inputs and targets.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Model inputs, batch-major.
+    pub inputs: Tensor,
+    /// Targets, batch-major, shape-compatible with the model output.
+    pub targets: Tensor,
+}
+
+/// An in-memory supervised dataset of `(input, target)` tensor pairs.
+///
+/// Inputs and targets keep their individual (non-batched) shapes; batching
+/// stacks them along a new leading batch dimension.
+///
+/// # Examples
+///
+/// ```
+/// use tinycnn::{Dataset, Tensor};
+///
+/// let mut ds = Dataset::new();
+/// ds.push(Tensor::zeros(&[1, 4, 4]), Tensor::zeros(&[1]));
+/// ds.push(Tensor::ones(&[1, 4, 4]), Tensor::ones(&[1]));
+/// assert_eq!(ds.len(), 2);
+/// let batches = ds.batches(2, None);
+/// assert_eq!(batches[0].inputs.shape(), &[2, 1, 4, 4]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    samples: Vec<(Tensor, Tensor)>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one `(input, target)` sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample shapes are inconsistent with already stored
+    /// samples.
+    pub fn push(&mut self, input: Tensor, target: Tensor) {
+        if let Some((i0, t0)) = self.samples.first() {
+            assert_eq!(
+                i0.shape(),
+                input.shape(),
+                "input shape differs from existing samples"
+            );
+            assert_eq!(
+                t0.shape(),
+                target.shape(),
+                "target shape differs from existing samples"
+            );
+        }
+        self.samples.push((input, target));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over the raw `(input, target)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = &(Tensor, Tensor)> {
+        self.samples.iter()
+    }
+
+    /// Splits the dataset into a training and a test partition.
+    ///
+    /// `train_fraction` is clamped to `[0, 1]`. Samples are shuffled
+    /// deterministically with `seed` before splitting.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let cut = ((self.samples.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for (i, &idx) in order.iter().enumerate() {
+            let (x, y) = self.samples[idx].clone();
+            if i < cut {
+                train.push(x, y);
+            } else {
+                test.push(x, y);
+            }
+        }
+        (train, test)
+    }
+
+    /// Produces mini-batches of size `batch_size` (the final batch may be
+    /// smaller). If `shuffle_seed` is provided the sample order is shuffled
+    /// deterministically first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero or the dataset is empty.
+    pub fn batches(&self, batch_size: usize, shuffle_seed: Option<u64>) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        assert!(!self.is_empty(), "cannot batch an empty dataset");
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        if let Some(seed) = shuffle_seed {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        order
+            .chunks(batch_size)
+            .map(|chunk| {
+                let inputs = stack(chunk.iter().map(|&i| &self.samples[i].0));
+                let targets = stack(chunk.iter().map(|&i| &self.samples[i].1));
+                Batch { inputs, targets }
+            })
+            .collect()
+    }
+}
+
+/// Stacks tensors of identical shape along a new leading batch dimension.
+fn stack<'a>(tensors: impl Iterator<Item = &'a Tensor>) -> Tensor {
+    let tensors: Vec<&Tensor> = tensors.collect();
+    assert!(!tensors.is_empty());
+    let shape = tensors[0].shape().to_vec();
+    let mut out_shape = vec![tensors.len()];
+    out_shape.extend_from_slice(&shape);
+    let mut data = Vec::with_capacity(tensors.len() * tensors[0].len());
+    for t in tensors {
+        assert_eq!(t.shape(), shape.as_slice(), "cannot stack mismatched shapes");
+        data.extend_from_slice(t.data());
+    }
+    Tensor::from_vec(data, &out_shape)
+}
+
+impl FromIterator<(Tensor, Tensor)> for Dataset {
+    fn from_iter<I: IntoIterator<Item = (Tensor, Tensor)>>(iter: I) -> Self {
+        let mut ds = Dataset::new();
+        for (x, y) in iter {
+            ds.push(x, y);
+        }
+        ds
+    }
+}
+
+impl Extend<(Tensor, Tensor)> for Dataset {
+    fn extend<I: IntoIterator<Item = (Tensor, Tensor)>>(&mut self, iter: I) {
+        for (x, y) in iter {
+            self.push(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                (
+                    Tensor::filled(&[1, 2, 2], i as f32),
+                    Tensor::filled(&[1], (i % 2) as f32),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_and_len() {
+        let ds = sample_dataset(5);
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape differs")]
+    fn mismatched_shapes_panic() {
+        let mut ds = sample_dataset(1);
+        ds.push(Tensor::zeros(&[1, 3, 3]), Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let ds = sample_dataset(10);
+        let batches = ds.batches(3, None);
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(|b| b.inputs.shape()[0]).sum();
+        assert_eq!(total, 10);
+        assert_eq!(batches[0].inputs.shape(), &[3, 1, 2, 2]);
+        assert_eq!(batches[3].inputs.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn shuffled_batches_are_deterministic() {
+        let ds = sample_dataset(16);
+        let a = ds.batches(4, Some(42));
+        let b = ds.batches(4, Some(42));
+        assert_eq!(a[0].inputs.data(), b[0].inputs.data());
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = sample_dataset(20);
+        let (train, test) = ds.split(0.75, 1);
+        assert_eq!(train.len(), 15);
+        assert_eq!(test.len(), 5);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let ds = sample_dataset(4);
+        let (train, test) = ds.split(1.0, 0);
+        assert_eq!(train.len(), 4);
+        assert_eq!(test.len(), 0);
+        let (train, test) = ds.split(0.0, 0);
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be non-zero")]
+    fn zero_batch_size_panics() {
+        let ds = sample_dataset(2);
+        ds.batches(0, None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Weight initialization schemes.
+//!
+//! All initializers are seeded explicitly so that every experiment in the
+//! reproduction is deterministic.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Supported weight initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    /// Suitable for sigmoid/linear outputs.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+    /// Suitable for ReLU activations.
+    HeUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Creates a tensor of the requested shape initialized with this scheme.
+    ///
+    /// `fan_in`/`fan_out` are the effective fan values of the layer (for a
+    /// conv layer they include the kernel area).
+    pub fn make(self, shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+        match self {
+            Init::Zeros => Tensor::zeros(shape),
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                uniform(shape, -a, a, seed)
+            }
+            Init::HeUniform => {
+                let a = (6.0 / fan_in as f32).sqrt();
+                uniform(shape, -a, a, seed)
+            }
+        }
+    }
+}
+
+fn uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_init_is_all_zero() {
+        let t = Init::Zeros.make(&[4, 4], 4, 4, 0);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let t = Init::XavierUniform.make(&[100], 50, 50, 7);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn he_bounds_respected() {
+        let t = Init::HeUniform.make(&[100], 25, 10, 7);
+        let a = (6.0f32 / 25.0).sqrt();
+        assert!(t.data().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = Init::HeUniform.make(&[32], 8, 8, 99);
+        let b = Init::HeUniform.make(&[32], 8, 8, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = Init::HeUniform.make(&[32], 8, 8, 1);
+        let b = Init::HeUniform.make(&[32], 8, 8, 2);
+        assert_ne!(a, b);
+    }
+}

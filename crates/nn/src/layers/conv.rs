@@ -1,0 +1,383 @@
+//! 2-D convolution layer.
+
+use crate::init::Init;
+use crate::layers::{Layer, ParamGrad};
+use crate::serialize::LayerExport;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Padding mode for [`Conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding: the output spatial size shrinks by `kernel - 1`.
+    Valid,
+    /// Zero padding so that the output spatial size equals the input size
+    /// (requires an odd kernel size).
+    Same,
+}
+
+/// A 2-D convolution over NCHW tensors with stride 1.
+///
+/// This is the workhorse of both DL2Fence models: the detector uses a single
+/// `Conv2d` with 8 kernels, the localizer stacks two or three of them.
+///
+/// # Examples
+///
+/// ```
+/// use tinycnn::{Conv2d, Padding, Layer, Tensor};
+///
+/// let mut conv = Conv2d::new(1, 8, 3, Padding::Valid, 0);
+/// let x = Tensor::zeros(&[1, 1, 16, 15]);
+/// let y = conv.forward(&x);
+/// assert_eq!(y.shape(), &[1, 8, 14, 13]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: Padding,
+    /// Weights laid out as `[out_channels, in_channels, kernel, kernel]`.
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-uniform initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even and `padding` is [`Padding::Same`], or if
+    /// any size is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: Padding,
+        seed: u64,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0);
+        if padding == Padding::Same {
+            assert!(kernel % 2 == 1, "Same padding requires an odd kernel size");
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let wshape = [out_channels, in_channels, kernel, kernel];
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            weight: Init::HeUniform.make(&wshape, fan_in, fan_out, seed),
+            bias: Tensor::zeros(&[out_channels]),
+            weight_grad: Tensor::zeros(&wshape),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Reconstructs a layer from previously exported weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor shapes are inconsistent with the configuration.
+    pub fn from_weights(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: Padding,
+        weight: Tensor,
+        bias: Tensor,
+    ) -> Self {
+        assert_eq!(
+            weight.shape(),
+            &[out_channels, in_channels, kernel, kernel],
+            "weight shape mismatch"
+        );
+        assert_eq!(bias.shape(), &[out_channels], "bias shape mismatch");
+        let wshape = weight.shape().to_vec();
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            weight_grad: Tensor::zeros(&wshape),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// The number of output channels (kernels).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The kernel (filter) size.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    fn pad_amount(&self) -> usize {
+        match self.padding {
+            Padding::Valid => 0,
+            Padding::Same => self.kernel / 2,
+        }
+    }
+
+    fn padded(&self, input: &Tensor) -> Tensor {
+        let p = self.pad_amount();
+        if p == 0 {
+            return input.clone();
+        }
+        let (n, c, h, w) = dims4(input);
+        let mut out = Tensor::zeros(&[n, c, h + 2 * p, w + 2 * p]);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        out.set(&[b, ch, y + p, x + p], input.get(&[b, ch, y, x]));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.rank(), 4, "expected NCHW tensor, got shape {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, c, _, _) = dims4(input);
+        assert_eq!(
+            c, self.in_channels,
+            "input channel count {c} does not match layer in_channels {}",
+            self.in_channels
+        );
+        let padded = self.padded(input);
+        let (_, _, ph, pw) = dims4(&padded);
+        let k = self.kernel;
+        assert!(
+            ph >= k && pw >= k,
+            "input spatial size {ph}x{pw} smaller than kernel {k}"
+        );
+        let oh = ph - k + 1;
+        let ow = pw - k + 1;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                let bias = self.bias.get(&[oc]);
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    acc += self.weight.get(&[oc, ic, ky, kx])
+                                        * padded.get(&[b, ic, y + ky, x + kx]);
+                                }
+                            }
+                        }
+                        out.set(&[b, oc, y, x], acc);
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        let padded = self.padded(&input);
+        let p = self.pad_amount();
+        let (n, _, ph, pw) = dims4(&padded);
+        let (_, _, ih, iw) = dims4(&input);
+        let (_, _, oh, ow) = dims4(grad_output);
+        let k = self.kernel;
+
+        let mut grad_padded = Tensor::zeros(&[n, self.in_channels, ph, pw]);
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let g = grad_output.get(&[b, oc, y, x]);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        // Bias gradient.
+                        let bg = self.bias_grad.get(&[oc]) + g;
+                        self.bias_grad.set(&[oc], bg);
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    // Weight gradient.
+                                    let wg = self.weight_grad.get(&[oc, ic, ky, kx])
+                                        + g * padded.get(&[b, ic, y + ky, x + kx]);
+                                    self.weight_grad.set(&[oc, ic, ky, kx], wg);
+                                    // Input gradient.
+                                    let ig = grad_padded.get(&[b, ic, y + ky, x + kx])
+                                        + g * self.weight.get(&[oc, ic, ky, kx]);
+                                    grad_padded.set(&[b, ic, y + ky, x + kx], ig);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if p == 0 {
+            return grad_padded;
+        }
+        // Crop the padding back off.
+        let mut grad_input = Tensor::zeros(&[n, self.in_channels, ih, iw]);
+        for b in 0..n {
+            for ic in 0..self.in_channels {
+                for y in 0..ih {
+                    for x in 0..iw {
+                        grad_input.set(&[b, ic, y, x], grad_padded.get(&[b, ic, y + p, x + p]));
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamGrad<'_>> {
+        vec![
+            (&mut self.weight, &mut self.weight_grad),
+            (&mut self.bias, &mut self.bias_grad),
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn zero_grad(&mut self) {
+        self.weight_grad.fill_zero();
+        self.bias_grad.fill_zero();
+    }
+
+    fn export(&self) -> LayerExport {
+        LayerExport::Conv2d {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            padding: self.padding,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_padding_shrinks_output() {
+        let mut conv = Conv2d::new(1, 3, 3, Padding::Valid, 1);
+        let x = Tensor::zeros(&[2, 1, 10, 8]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 3, 8, 6]);
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let mut conv = Conv2d::new(2, 4, 3, Padding::Same, 1);
+        let x = Tensor::zeros(&[1, 2, 7, 9]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 4, 7, 9]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // A single 1x1 kernel with weight 1 and bias 0 must copy the input.
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let mut conv = Conv2d::from_weights(1, 1, 1, Padding::Valid, weight, bias);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 2x2 input, 2x2 kernel of all ones => output = sum of input.
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let bias = Tensor::from_vec(vec![0.5], &[1]);
+        let mut conv = Conv2d::from_weights(1, 1, 2, Padding::Valid, weight, bias);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert!((y.get(&[0, 0, 0, 0]) - 10.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_output_grad() {
+        let mut conv = Conv2d::new(1, 1, 2, Padding::Valid, 3);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x);
+        let g = Tensor::ones(y.shape());
+        conv.backward(&g);
+        // Output is 2x2 => bias grad = 4.
+        let pairs = conv.params_mut();
+        let (_, bias_grad) = &pairs[1];
+        assert!((bias_grad.get(&[0]) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut conv = Conv2d::new(1, 2, 3, Padding::Valid, 3);
+        let x = Tensor::ones(&[1, 1, 5, 5]);
+        let y = conv.forward(&x);
+        conv.backward(&Tensor::ones(y.shape()));
+        conv.zero_grad();
+        for (_, g) in conv.params_mut() {
+            assert!(g.data().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let conv = Conv2d::new(4, 8, 3, Padding::Valid, 0);
+        assert_eq!(conv.param_count(), 8 * 4 * 3 * 3 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn wrong_channel_count_panics() {
+        let mut conv = Conv2d::new(2, 1, 3, Padding::Valid, 0);
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        conv.forward(&x);
+    }
+
+    #[test]
+    fn export_round_trips_weights() {
+        let conv = Conv2d::new(1, 2, 3, Padding::Same, 5);
+        match conv.export() {
+            LayerExport::Conv2d { weight, .. } => {
+                assert_eq!(weight.shape(), &[2, 1, 3, 3]);
+            }
+            other => panic!("unexpected export {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fully connected (dense) layer.
+
+use crate::init::Init;
+use crate::layers::{Layer, ParamGrad};
+use crate::serialize::LayerExport;
+use crate::tensor::Tensor;
+
+/// A fully connected layer computing `y = x·W + b` over `[batch, in]` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use tinycnn::{Dense, Layer, Tensor};
+///
+/// let mut dense = Dense::new(4, 2, 0);
+/// let x = Tensor::zeros(&[3, 4]);
+/// let y = dense.forward(&x);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// `[in_features, out_features]`
+    weight: Tensor,
+    /// `[out_features]`
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        Dense {
+            in_features,
+            out_features,
+            weight: Init::XavierUniform.make(
+                &[in_features, out_features],
+                in_features,
+                out_features,
+                seed,
+            ),
+            bias: Tensor::zeros(&[out_features]),
+            weight_grad: Tensor::zeros(&[in_features, out_features]),
+            bias_grad: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Reconstructs a layer from previously exported weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor shapes do not match the configuration.
+    pub fn from_weights(
+        in_features: usize,
+        out_features: usize,
+        weight: Tensor,
+        bias: Tensor,
+    ) -> Self {
+        assert_eq!(weight.shape(), &[in_features, out_features]);
+        assert_eq!(bias.shape(), &[out_features]);
+        Dense {
+            in_features,
+            out_features,
+            weight_grad: Tensor::zeros(&[in_features, out_features]),
+            bias_grad: Tensor::zeros(&[out_features]),
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// The number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// The number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 2, "Dense expects a [batch, features] tensor");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "input feature count {} does not match layer in_features {}",
+            input.shape()[1],
+            self.in_features
+        );
+        let mut out = input.matmul(&self.weight);
+        let batch = input.shape()[0];
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let v = out.get(&[b, o]) + self.bias.get(&[o]);
+                out.set(&[b, o], v);
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = x^T · dY ; db = sum over batch of dY ; dX = dY · W^T
+        let dw = input.transpose().matmul(grad_output);
+        self.weight_grad.add_scaled(&dw, 1.0);
+        let batch = grad_output.shape()[0];
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let v = self.bias_grad.get(&[o]) + grad_output.get(&[b, o]);
+                self.bias_grad.set(&[o], v);
+            }
+        }
+        grad_output.matmul(&self.weight.transpose())
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamGrad<'_>> {
+        vec![
+            (&mut self.weight, &mut self.weight_grad),
+            (&mut self.bias, &mut self.bias_grad),
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn zero_grad(&mut self) {
+        self.weight_grad.fill_zero();
+        self.bias_grad.fill_zero();
+    }
+
+    fn export(&self) -> LayerExport {
+        LayerExport::Dense {
+            in_features: self.in_features,
+            out_features: self.out_features,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let bias = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]);
+        let mut dense = Dense::from_weights(2, 3, weight, bias);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = dense.forward(&x);
+        assert_eq!(y.shape(), &[1, 3]);
+        assert!((y.get(&[0, 0]) - 5.1).abs() < 1e-6);
+        assert!((y.get(&[0, 1]) - 7.2).abs() < 1e-6);
+        assert!((y.get(&[0, 2]) - 9.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_shapes_are_consistent() {
+        let mut dense = Dense::new(5, 3, 2);
+        let x = Tensor::ones(&[4, 5]);
+        let y = dense.forward(&x);
+        let gi = dense.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), &[4, 5]);
+    }
+
+    #[test]
+    fn bias_grad_sums_over_batch() {
+        let mut dense = Dense::new(2, 2, 2);
+        let x = Tensor::ones(&[3, 2]);
+        let y = dense.forward(&x);
+        dense.backward(&Tensor::ones(y.shape()));
+        let pairs = dense.params_mut();
+        let (_, bias_grad) = &pairs[1];
+        assert_eq!(bias_grad.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let dense = Dense::new(10, 4, 0);
+        assert_eq!(dense.param_count(), 10 * 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn wrong_input_features_panics() {
+        let mut dense = Dense::new(3, 2, 0);
+        dense.forward(&Tensor::zeros(&[1, 4]));
+    }
+}

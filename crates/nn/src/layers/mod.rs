@@ -1,0 +1,124 @@
+//! Neural-network layers.
+//!
+//! Every layer implements the [`Layer`] trait: a mutable `forward` (layers
+//! cache whatever they need for the backward pass), a `backward` that
+//! consumes the gradient w.r.t. the layer output and returns the gradient
+//! w.r.t. the layer input, and accessors over trainable parameters.
+
+mod activation;
+mod conv;
+mod dense;
+mod flatten;
+mod pool;
+
+pub use activation::{Relu, Sigmoid};
+pub use conv::{Conv2d, Padding};
+pub use dense::Dense;
+pub use flatten::Flatten;
+pub use pool::MaxPool2d;
+
+use crate::serialize::LayerExport;
+use crate::tensor::Tensor;
+
+/// A pair of references to a trainable parameter tensor and its accumulated
+/// gradient, as exposed by [`Layer::params_mut`].
+pub type ParamGrad<'a> = (&'a mut Tensor, &'a mut Tensor);
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` caches activations needed by `backward`,
+/// and `backward` accumulates parameter gradients until [`Layer::zero_grad`]
+/// is called.
+pub trait Layer: Send {
+    /// Human-readable layer name used in model summaries.
+    fn name(&self) -> &'static str;
+
+    /// Runs the layer on `input`, caching anything needed for `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Propagates `grad_output` (gradient of the loss w.r.t. this layer's
+    /// output) backwards, accumulating parameter gradients and returning the
+    /// gradient w.r.t. this layer's input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to `(parameter, gradient)` pairs for the optimizer.
+    /// Parameter-free layers return an empty vector.
+    fn params_mut(&mut self) -> Vec<ParamGrad<'_>> {
+        Vec::new()
+    }
+
+    /// Number of trainable scalar parameters in this layer.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grad(&mut self) {}
+
+    /// Exports the layer (configuration + weights) for serialization.
+    fn export(&self) -> LayerExport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check helper shared by layer tests.
+    ///
+    /// Verifies that the analytic input gradient produced by `backward`
+    /// matches a central-difference estimate of d(sum(output))/d(input).
+    pub(crate) fn check_input_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let out = layer.forward(input);
+        let grad_out = Tensor::ones(out.shape());
+        let analytic = layer.backward(&grad_out);
+
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let f_plus = layer.forward(&plus).sum();
+            let f_minus = layer.forward(&minus).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < tol,
+                "gradient mismatch at {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_layer_gradient_check() {
+        let mut layer = Conv2d::new(1, 2, 3, Padding::Valid, 11);
+        let input = crate::init::Init::XavierUniform.make(&[1, 1, 5, 5], 25, 25, 3);
+        check_input_gradient(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn dense_layer_gradient_check() {
+        let mut layer = Dense::new(6, 3, 5);
+        let input = crate::init::Init::XavierUniform.make(&[2, 6], 6, 3, 8);
+        check_input_gradient(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut layer = Sigmoid::new();
+        let input = crate::init::Init::XavierUniform.make(&[2, 4], 4, 4, 2);
+        check_input_gradient(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn relu_gradient_check_away_from_kink() {
+        let mut layer = Relu::new();
+        // Keep inputs away from 0 where ReLU is non-differentiable.
+        let input = Tensor::from_vec(vec![1.0, -2.0, 3.0, -0.5, 2.2, -1.1], &[1, 6]);
+        check_input_gradient(&mut layer, &input, 1e-2);
+    }
+}

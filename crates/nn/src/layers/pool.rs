@@ -1,0 +1,164 @@
+//! Max-pooling layer.
+
+use crate::layers::Layer;
+use crate::serialize::LayerExport;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling with a square window and stride equal to the window size.
+///
+/// If the spatial size is not a multiple of the window, the trailing rows and
+/// columns that do not fill a complete window are dropped (the behaviour of
+/// TensorFlow's `MaxPool2D` with `padding="valid"`, which the paper's
+/// detector uses).
+///
+/// # Examples
+///
+/// ```
+/// use tinycnn::{MaxPool2d, Layer, Tensor};
+///
+/// let mut pool = MaxPool2d::new(2);
+/// let x = Tensor::zeros(&[1, 8, 14, 13]);
+/// let y = pool.forward(&x);
+/// assert_eq!(y.shape(), &[1, 8, 7, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    /// Indices (into the flat input) of each output's argmax, for backward.
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given square window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be non-zero");
+        MaxPool2d {
+            window,
+            argmax: Vec::new(),
+            input_shape: Vec::new(),
+        }
+    }
+
+    /// The pooling window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "MaxPool2d expects an NCHW tensor");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.window;
+        assert!(h >= k && w >= k, "input {h}x{w} smaller than window {k}");
+        let oh = h / k;
+        let ow = w / k;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.argmax = vec![0; n * c * oh * ow];
+        self.input_shape = input.shape().to_vec();
+        let mut oi = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = y * k + ky;
+                                let ix = x * k + kx;
+                                let v = input.get(&[b, ch, iy, ix]);
+                                if v > best {
+                                    best = v;
+                                    best_idx = ((b * c + ch) * h + iy) * w + ix;
+                                }
+                            }
+                        }
+                        out.set(&[b, ch, y, x], best);
+                        self.argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.input_shape.is_empty(),
+            "backward called before forward"
+        );
+        let mut grad_input = Tensor::zeros(&self.input_shape);
+        for (oi, &src) in self.argmax.iter().enumerate() {
+            grad_input.data_mut()[src] += grad_output.data()[oi];
+        }
+        grad_input
+    }
+
+    fn export(&self) -> LayerExport {
+        LayerExport::MaxPool2d {
+            window: self.window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_selects_maximum() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn trailing_rows_are_dropped() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 5, 7]);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        pool.forward(&x);
+        let g = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]);
+        let gi = pool.backward(&g);
+        assert_eq!(gi.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_has_no_params() {
+        let mut pool = MaxPool2d::new(2);
+        assert_eq!(pool.param_count(), 0);
+        assert!(pool.params_mut().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut pool = MaxPool2d::new(2);
+        pool.backward(&Tensor::zeros(&[1, 1, 1, 1]));
+    }
+}

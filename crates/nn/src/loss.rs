@@ -1,0 +1,238 @@
+//! Loss functions.
+//!
+//! The DoS *detector* trains with [`BinaryCrossEntropy`]; the DoS *profile
+//! localizer* (a segmentation model) trains with [`DiceLoss`], mirroring the
+//! "feedback from dice accuracy" the paper describes. [`Mse`] is provided for
+//! ablation experiments.
+
+use crate::tensor::Tensor;
+
+/// A differentiable loss over a prediction/target pair of equal shape.
+pub trait Loss: Send {
+    /// The scalar loss value (averaged over all elements).
+    fn value(&self, prediction: &Tensor, target: &Tensor) -> f32;
+
+    /// The gradient of the loss w.r.t. the prediction.
+    fn gradient(&self, prediction: &Tensor, target: &Tensor) -> Tensor;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Binary cross-entropy over probabilities in `(0, 1)`.
+///
+/// Predictions are clamped to `[eps, 1-eps]` for numerical stability.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryCrossEntropy {
+    eps: f32,
+}
+
+impl BinaryCrossEntropy {
+    /// Creates a BCE loss with the default clamping epsilon (`1e-7`).
+    pub fn new() -> Self {
+        BinaryCrossEntropy { eps: 1e-7 }
+    }
+}
+
+impl Default for BinaryCrossEntropy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Loss for BinaryCrossEntropy {
+    fn value(&self, prediction: &Tensor, target: &Tensor) -> f32 {
+        let n = prediction.len() as f32;
+        prediction
+            .zip(target, |p, t| {
+                let p = p.clamp(self.eps, 1.0 - self.eps);
+                -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+            })
+            .sum()
+            / n
+    }
+
+    fn gradient(&self, prediction: &Tensor, target: &Tensor) -> Tensor {
+        let n = prediction.len() as f32;
+        prediction.zip(target, |p, t| {
+            let p = p.clamp(self.eps, 1.0 - self.eps);
+            ((p - t) / (p * (1.0 - p))) / n
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "binary_cross_entropy"
+    }
+}
+
+/// Soft Dice loss: `1 − (2·|P∩T| + s) / (|P| + |T| + s)`.
+///
+/// The smoothing term `s` keeps the loss defined when both prediction and
+/// target are all-zero (a frame with no attack pixels).
+#[derive(Debug, Clone, Copy)]
+pub struct DiceLoss {
+    smooth: f32,
+}
+
+impl DiceLoss {
+    /// Creates a Dice loss with the default smoothing factor (`1.0`).
+    pub fn new() -> Self {
+        DiceLoss { smooth: 1.0 }
+    }
+
+    /// Creates a Dice loss with a custom smoothing factor.
+    pub fn with_smoothing(smooth: f32) -> Self {
+        DiceLoss { smooth }
+    }
+
+    /// The soft Dice coefficient (1 − loss).
+    pub fn coefficient(&self, prediction: &Tensor, target: &Tensor) -> f32 {
+        let intersection = prediction.zip(target, |p, t| p * t).sum();
+        let denom = prediction.sum() + target.sum();
+        (2.0 * intersection + self.smooth) / (denom + self.smooth)
+    }
+}
+
+impl Default for DiceLoss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Loss for DiceLoss {
+    fn value(&self, prediction: &Tensor, target: &Tensor) -> f32 {
+        1.0 - self.coefficient(prediction, target)
+    }
+
+    fn gradient(&self, prediction: &Tensor, target: &Tensor) -> Tensor {
+        // d/dp_i [ -(2*sum(p*t)+s)/(sum(p)+sum(t)+s) ]
+        //   = -(2*t_i*(denom) - (2*inter+s)) / denom^2
+        let intersection = prediction.zip(target, |p, t| p * t).sum();
+        let denom = prediction.sum() + target.sum() + self.smooth;
+        let numer = 2.0 * intersection + self.smooth;
+        target.map(|t| -(2.0 * t * denom - numer) / (denom * denom))
+    }
+
+    fn name(&self) -> &'static str {
+        "dice"
+    }
+}
+
+/// Mean squared error, provided for ablation experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mse;
+
+impl Mse {
+    /// Creates an MSE loss.
+    pub fn new() -> Self {
+        Mse
+    }
+}
+
+impl Loss for Mse {
+    fn value(&self, prediction: &Tensor, target: &Tensor) -> f32 {
+        prediction.zip(target, |p, t| (p - t) * (p - t)).mean()
+    }
+
+    fn gradient(&self, prediction: &Tensor, target: &Tensor) -> Tensor {
+        let n = prediction.len() as f32;
+        prediction.zip(target, |p, t| 2.0 * (p - t) / n)
+    }
+
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_gradient(loss: &dyn Loss, pred: &Tensor, target: &Tensor, i: usize) -> f32 {
+        let eps = 1e-3;
+        let mut plus = pred.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = pred.clone();
+        minus.data_mut()[i] -= eps;
+        (loss.value(&plus, target) - loss.value(&minus, target)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn bce_perfect_prediction_is_near_zero() {
+        let bce = BinaryCrossEntropy::new();
+        let p = Tensor::from_vec(vec![0.9999, 0.0001], &[2]);
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        assert!(bce.value(&p, &t) < 1e-3);
+    }
+
+    #[test]
+    fn bce_wrong_prediction_is_large() {
+        let bce = BinaryCrossEntropy::new();
+        let p = Tensor::from_vec(vec![0.01], &[1]);
+        let t = Tensor::from_vec(vec![1.0], &[1]);
+        assert!(bce.value(&p, &t) > 4.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_numeric() {
+        let bce = BinaryCrossEntropy::new();
+        let p = Tensor::from_vec(vec![0.3, 0.7, 0.5], &[3]);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 1.0], &[3]);
+        let g = bce.gradient(&p, &t);
+        for i in 0..3 {
+            let n = numeric_gradient(&bce, &p, &t, i);
+            assert!((g.data()[i] - n).abs() < 1e-2, "{} vs {}", g.data()[i], n);
+        }
+    }
+
+    #[test]
+    fn dice_perfect_overlap_gives_zero_loss() {
+        let dice = DiceLoss::new();
+        let p = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]);
+        let t = p.clone();
+        assert!(dice.value(&p, &t) < 0.2); // smoothing keeps it slightly above 0
+        assert!(dice.coefficient(&p, &t) > 0.8);
+    }
+
+    #[test]
+    fn dice_no_overlap_gives_high_loss() {
+        let dice = DiceLoss::new();
+        let p = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        assert!(dice.value(&p, &t) > 0.5);
+    }
+
+    #[test]
+    fn dice_all_zero_frames_are_well_defined() {
+        let dice = DiceLoss::new();
+        let p = Tensor::zeros(&[8]);
+        let t = Tensor::zeros(&[8]);
+        let v = dice.value(&p, &t);
+        assert!(v.is_finite());
+        assert!(v.abs() < 1e-6);
+    }
+
+    #[test]
+    fn dice_gradient_matches_numeric() {
+        let dice = DiceLoss::new();
+        let p = Tensor::from_vec(vec![0.2, 0.8, 0.4, 0.6], &[4]);
+        let t = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4]);
+        let g = dice.gradient(&p, &t);
+        for i in 0..4 {
+            let n = numeric_gradient(&dice, &p, &t, i);
+            assert!((g.data()[i] - n).abs() < 1e-2, "{} vs {}", g.data()[i], n);
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_numeric() {
+        let mse = Mse::new();
+        let p = Tensor::from_vec(vec![0.5, -1.0], &[2]);
+        let t = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let g = mse.gradient(&p, &t);
+        for i in 0..2 {
+            let n = numeric_gradient(&mse, &p, &t, i);
+            assert!((g.data()[i] - n).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Classification and segmentation metrics: accuracy, precision, recall, F1
+//! and the Dice coefficient — the metrics reported in Tables 1–3 of the
+//! paper.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix and the derived metrics.
+///
+/// # Examples
+///
+/// ```
+/// use tinycnn::{confusion, Tensor};
+///
+/// let pred = Tensor::from_vec(vec![0.9, 0.2, 0.8, 0.4], &[4]);
+/// let truth = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[4]);
+/// let c = confusion(&pred, &truth, 0.5);
+/// assert_eq!(c.true_positives, 1);
+/// assert_eq!(c.false_positives, 1);
+/// assert_eq!(c.false_negatives, 1);
+/// assert_eq!(c.true_negatives, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Predicted positive, actually positive.
+    pub true_positives: u64,
+    /// Predicted positive, actually negative.
+    pub false_positives: u64,
+    /// Predicted negative, actually negative.
+    pub true_negatives: u64,
+    /// Predicted negative, actually positive.
+    pub false_negatives: u64,
+}
+
+impl BinaryConfusion {
+    /// Creates an empty confusion matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a single observation.
+    pub fn record(&mut self, predicted_positive: bool, actually_positive: bool) {
+        match (predicted_positive, actually_positive) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// `(TP + TN) / total`. Returns 1.0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// `TP / (TP + FP)`. Returns 1.0 when no positives were predicted (the
+    /// convention used when comparing against the paper, which reports a
+    /// precision of 1 for attack-free windows).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// `TP / (TP + FN)`. Returns 1.0 when there are no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall. Returns 0.0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Builds a [`BinaryConfusion`] by thresholding `prediction` at `threshold`
+/// and comparing element-wise against `target` (where any value `> 0.5`
+/// counts as a positive label).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn confusion(prediction: &Tensor, target: &Tensor, threshold: f32) -> BinaryConfusion {
+    assert_eq!(
+        prediction.shape(),
+        target.shape(),
+        "prediction and target shapes differ"
+    );
+    let mut c = BinaryConfusion::new();
+    for (&p, &t) in prediction.data().iter().zip(target.data()) {
+        c.record(p > threshold, t > 0.5);
+    }
+    c
+}
+
+/// Fraction of elements whose thresholded prediction matches the label.
+pub fn binary_accuracy(prediction: &Tensor, target: &Tensor, threshold: f32) -> f64 {
+    confusion(prediction, target, threshold).accuracy()
+}
+
+/// Hard Dice coefficient between a thresholded prediction and a binary
+/// target: `2·|P∩T| / (|P| + |T|)`, defined as 1.0 when both are empty.
+pub fn dice_coefficient(prediction: &Tensor, target: &Tensor, threshold: f32) -> f64 {
+    assert_eq!(prediction.shape(), target.shape());
+    let mut intersection = 0u64;
+    let mut p_count = 0u64;
+    let mut t_count = 0u64;
+    for (&p, &t) in prediction.data().iter().zip(target.data()) {
+        let pp = p > threshold;
+        let tt = t > 0.5;
+        if pp {
+            p_count += 1;
+        }
+        if tt {
+            t_count += 1;
+        }
+        if pp && tt {
+            intersection += 1;
+        }
+    }
+    if p_count + t_count == 0 {
+        return 1.0;
+    }
+    2.0 * intersection as f64 / (p_count + t_count) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_metrics_are_one() {
+        let p = Tensor::from_vec(vec![0.9, 0.1, 0.8, 0.2], &[4]);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]);
+        let c = confusion(&p, &t, 0.5);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_prediction_metrics_are_zero() {
+        let p = Tensor::from_vec(vec![0.9, 0.1], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let c = confusion(&p, &t, 0.5);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_confusion_conventions() {
+        let c = BinaryConfusion::new();
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn no_predicted_positives_precision_is_one() {
+        let p = Tensor::from_vec(vec![0.1, 0.2], &[2]);
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let c = confusion(&p, &t, 0.5);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BinaryConfusion {
+            true_positives: 1,
+            false_positives: 2,
+            true_negatives: 3,
+            false_negatives: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.true_positives, 2);
+        assert_eq!(a.total(), 20);
+    }
+
+    #[test]
+    fn dice_of_identical_masks_is_one() {
+        let m = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0], &[4]);
+        assert_eq!(dice_coefficient(&m, &m, 0.5), 1.0);
+    }
+
+    #[test]
+    fn dice_of_disjoint_masks_is_zero() {
+        let a = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        assert_eq!(dice_coefficient(&a, &b, 0.5), 0.0);
+    }
+
+    #[test]
+    fn dice_of_empty_masks_is_one() {
+        let z = Tensor::zeros(&[4]);
+        assert_eq!(dice_coefficient(&z, &z, 0.5), 1.0);
+    }
+
+    #[test]
+    fn f1_matches_manual_formula() {
+        let c = BinaryConfusion {
+            true_positives: 8,
+            false_positives: 2,
+            true_negatives: 5,
+            false_negatives: 1,
+        };
+        let p = 8.0 / 10.0;
+        let r = 8.0 / 9.0;
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+}

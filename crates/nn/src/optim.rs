@@ -1,0 +1,199 @@
+//! Optimizers: SGD (with momentum) and Adam.
+
+use crate::layers::ParamGrad;
+use crate::tensor::Tensor;
+
+/// A gradient-descent optimizer that updates `(parameter, gradient)` pairs in
+/// place.
+///
+/// The optimizer keeps any per-parameter state (momentum, Adam moments)
+/// indexed by the order in which parameters are presented, so callers must
+/// present parameters in a stable order — [`crate::Sequential`] guarantees
+/// this.
+pub trait Optimizer: Send {
+    /// Applies one update step to the given parameters using their gradients.
+    fn step(&mut self, params: &mut [ParamGrad<'_>]);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates a plain SGD optimizer.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Creates an SGD optimizer with classical momentum.
+    pub fn with_momentum(learning_rate: f32, momentum: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [ParamGrad<'_>]) {
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut() {
+                p.add_scaled(g, -self.learning_rate);
+            }
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+        }
+        for (i, (p, g)) in params.iter_mut().enumerate() {
+            let v = &mut self.velocity[i];
+            // v = momentum*v - lr*g ; p += v
+            let mut new_v = v.scale(self.momentum);
+            new_v.add_scaled(g, -self.learning_rate);
+            p.add_scaled(&new_v, 1.0);
+            *v = new_v;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard hyper-parameters
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+    pub fn new(learning_rate: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [ParamGrad<'_>]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+            self.v = params.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+        }
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (i, (p, g)) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for j in 0..p.len() {
+                let gj = g.data()[j];
+                let mj = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
+                let vj = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
+                m.data_mut()[j] = mj;
+                v.data_mut()[j] = vj;
+                let m_hat = mj / bc1;
+                let v_hat = vj / bc2;
+                p.data_mut()[j] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimize f(x) = x^2 starting at x = 5.
+        let mut x = Tensor::from_vec(vec![5.0], &[1]);
+        let mut g = Tensor::zeros(&[1]);
+        for _ in 0..steps {
+            g.data_mut()[0] = 2.0 * x.data()[0];
+            let mut params = vec![(&mut x, &mut g)];
+            opt.step(&mut params);
+        }
+        x.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = quadratic_step(&mut sgd, 100);
+        assert!(x.abs() < 1e-3, "did not converge: {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        let x = quadratic_step(&mut sgd, 200);
+        assert!(x.abs() < 1e-2, "did not converge: {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.3);
+        let x = quadratic_step(&mut adam, 200);
+        assert!(x.abs() < 1e-2, "did not converge: {x}");
+    }
+
+    #[test]
+    fn sgd_single_step_is_lr_times_grad() {
+        let mut sgd = Sgd::new(0.5);
+        let mut p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut g = Tensor::from_vec(vec![0.2, -0.4], &[2]);
+        let mut params = vec![(&mut p, &mut g)];
+        sgd.step(&mut params);
+        assert!((p.data()[0] - 0.9).abs() < 1e-6);
+        assert!((p.data()[1] - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimizer_names_and_lr() {
+        assert_eq!(Sgd::new(0.1).name(), "sgd");
+        assert_eq!(Adam::new(0.1).name(), "adam");
+        assert_eq!(Adam::new(0.01).learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,248 @@
+//! Training loop.
+
+use crate::dataset::Dataset;
+use crate::loss::Loss;
+use crate::metrics::binary_accuracy;
+use crate::model::Sequential;
+use crate::optim::Optimizer;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed controlling shuffling (one derived seed per epoch).
+    pub shuffle_seed: u64,
+    /// Threshold used when reporting training accuracy.
+    pub accuracy_threshold: f32,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            epochs: 10,
+            batch_size: 16,
+            shuffle_seed: 0,
+            accuracy_threshold: 0.5,
+        }
+    }
+}
+
+/// Per-epoch history of a completed training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Average training loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Training accuracy per epoch (thresholded at
+    /// [`TrainingConfig::accuracy_threshold`]).
+    pub accuracy_history: Vec<f64>,
+    /// Total number of optimizer steps taken.
+    pub steps: usize,
+}
+
+impl TrainingReport {
+    /// The final epoch's training loss, or `None` if no epochs ran.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.loss_history.last().copied()
+    }
+
+    /// The final epoch's training accuracy, or `None` if no epochs ran.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.accuracy_history.last().copied()
+    }
+}
+
+/// Drives mini-batch gradient descent over a [`Sequential`] model.
+///
+/// # Examples
+///
+/// ```
+/// use tinycnn::prelude::*;
+///
+/// // Learn the OR function with a single dense layer.
+/// let mut ds = Dataset::new();
+/// for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+///     let label = if a + b > 0.0 { 1.0 } else { 0.0 };
+///     ds.push(Tensor::from_vec(vec![a, b], &[2]), Tensor::from_vec(vec![label], &[1]));
+/// }
+/// let mut model = Sequential::new().push(Dense::new(2, 1, 3)).push(Sigmoid::new());
+/// let mut trainer = Trainer::new(Adam::new(0.1), BinaryCrossEntropy::new(), TrainingConfig {
+///     epochs: 200, batch_size: 4, ..Default::default()
+/// });
+/// let report = trainer.fit(&mut model, &ds);
+/// assert!(report.final_accuracy().unwrap() > 0.9);
+/// ```
+pub struct Trainer<O: Optimizer, L: Loss> {
+    optimizer: O,
+    loss: L,
+    config: TrainingConfig,
+}
+
+impl<O: Optimizer, L: Loss> Trainer<O, L> {
+    /// Creates a trainer from an optimizer, a loss and a configuration.
+    pub fn new(optimizer: O, loss: L, config: TrainingConfig) -> Self {
+        Trainer {
+            optimizer,
+            loss,
+            config,
+        }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `dataset` and returns the per-epoch history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(&mut self, model: &mut Sequential, dataset: &Dataset) -> TrainingReport {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let mut report = TrainingReport {
+            loss_history: Vec::with_capacity(self.config.epochs),
+            accuracy_history: Vec::with_capacity(self.config.epochs),
+            steps: 0,
+        };
+        for epoch in 0..self.config.epochs {
+            let seed = self.config.shuffle_seed.wrapping_add(epoch as u64);
+            let batches = dataset.batches(self.config.batch_size, Some(seed));
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_acc = 0.0f64;
+            for batch in &batches {
+                model.zero_grad();
+                let prediction = model.forward(&batch.inputs);
+                let target = reshape_target(&batch.targets, prediction.shape());
+                epoch_loss += self.loss.value(&prediction, &target);
+                epoch_acc +=
+                    binary_accuracy(&prediction, &target, self.config.accuracy_threshold);
+                let grad = self.loss.gradient(&prediction, &target);
+                model.backward(&grad);
+                let mut params = model.params_mut();
+                self.optimizer.step(&mut params);
+                report.steps += 1;
+            }
+            report.loss_history.push(epoch_loss / batches.len() as f32);
+            report
+                .accuracy_history
+                .push(epoch_acc / batches.len() as f64);
+        }
+        report
+    }
+
+    /// Evaluates the average loss of `model` over `dataset` without updating
+    /// weights.
+    pub fn evaluate(&self, model: &mut Sequential, dataset: &Dataset) -> f32 {
+        assert!(!dataset.is_empty(), "cannot evaluate an empty dataset");
+        let batches = dataset.batches(self.config.batch_size, None);
+        let mut total = 0.0;
+        for batch in &batches {
+            let prediction = model.forward(&batch.inputs);
+            let target = reshape_target(&batch.targets, prediction.shape());
+            total += self.loss.value(&prediction, &target);
+        }
+        total / batches.len() as f32
+    }
+}
+
+/// Reshapes a stacked target tensor to the model's output shape when the two
+/// are element-compatible (e.g. `[N, 1, H, W]` targets vs `[N, 1, H, W]`
+/// predictions, or `[N, 1]` vs `[N, 1]`).
+fn reshape_target(target: &crate::Tensor, prediction_shape: &[usize]) -> crate::Tensor {
+    if target.shape() == prediction_shape {
+        target.clone()
+    } else {
+        target.reshape(prediction_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn xor_like_dataset() -> Dataset {
+        // Linearly separable variant (AND) so a single dense layer suffices.
+        let mut ds = Dataset::new();
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let label = if a > 0.5 && b > 0.5 { 1.0 } else { 0.0 };
+            ds.push(
+                Tensor::from_vec(vec![a, b], &[2]),
+                Tensor::from_vec(vec![label], &[1]),
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = xor_like_dataset();
+        let mut model = Sequential::new()
+            .push(Dense::new(2, 4, 0))
+            .push(Relu::new())
+            .push(Dense::new(4, 1, 1))
+            .push(Sigmoid::new());
+        let mut trainer = Trainer::new(
+            Adam::new(0.05),
+            BinaryCrossEntropy::new(),
+            TrainingConfig {
+                epochs: 100,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
+        let report = trainer.fit(&mut model, &ds);
+        assert!(report.loss_history[0] > *report.loss_history.last().unwrap());
+        assert!(report.final_accuracy().unwrap() >= 0.75);
+        assert_eq!(report.loss_history.len(), 100);
+    }
+
+    #[test]
+    fn evaluate_does_not_change_weights() {
+        let ds = xor_like_dataset();
+        let mut model = Sequential::new().push(Dense::new(2, 1, 5)).push(Sigmoid::new());
+        let trainer = Trainer::new(
+            Sgd::new(0.1),
+            BinaryCrossEntropy::new(),
+            TrainingConfig::default(),
+        );
+        let before = model.export().to_json().unwrap();
+        let _ = trainer.evaluate(&mut model, &ds);
+        let after = model.export().to_json().unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn training_on_empty_dataset_panics() {
+        let mut model = Sequential::new().push(Dense::new(2, 1, 0));
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1),
+            Mse::new(),
+            TrainingConfig::default(),
+        );
+        trainer.fit(&mut model, &Dataset::new());
+    }
+
+    #[test]
+    fn steps_counted_correctly() {
+        let ds = xor_like_dataset();
+        let mut model = Sequential::new().push(Dense::new(2, 1, 0)).push(Sigmoid::new());
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1),
+            BinaryCrossEntropy::new(),
+            TrainingConfig {
+                epochs: 3,
+                batch_size: 2,
+                ..Default::default()
+            },
+        );
+        let report = trainer.fit(&mut model, &ds);
+        // 4 samples / batch 2 = 2 batches per epoch * 3 epochs.
+        assert_eq!(report.steps, 6);
+    }
+}

@@ -1,0 +1,54 @@
+//! # noc-sim — a flit-level 2D-mesh Network-on-Chip simulator
+//!
+//! This crate is the substrate the DL2Fence reproduction runs on. It plays
+//! the role Garnet (inside gem5) plays in the paper: a cycle-level model of a
+//! 2-D mesh NoC with
+//!
+//! * wormhole switching with **virtual channels** (VCs),
+//! * **credit-based flow control** (a flit only advances when the downstream
+//!   buffer has a free slot),
+//! * deterministic **XY dimension-order routing**,
+//! * per-input-port **buffer operation counters** (BOC) and instantaneous
+//!   **virtual-channel occupancy** (VCO) — the two features DL2Fence samples,
+//! * packet/flit latency accounting split into queueing and network
+//!   components (used to reproduce Figure 1).
+//!
+//! The node numbering convention follows the paper's Table-Like Method:
+//! node `id = y * cols + x`, the **East** neighbour is `id + 1`, **West** is
+//! `id − 1`, **North** is `id + cols` and **South** is `id − cols`. A
+//! router's *East input port* therefore receives flits sent by its East
+//! neighbour.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use noc_sim::{Network, NocConfig, NodeId};
+//!
+//! let config = NocConfig::mesh(4, 4);
+//! let mut net = Network::new(config);
+//! net.enqueue_packet(NodeId(0), NodeId(15), 0);
+//! for _ in 0..200 { net.step(); }
+//! assert_eq!(net.stats().packets_received, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flit;
+pub mod network;
+pub mod power;
+pub mod router;
+pub mod routing;
+pub mod stats;
+pub mod topology;
+pub mod vc;
+
+pub use config::NocConfig;
+pub use flit::{Flit, FlitKind, Packet, PacketId};
+pub use network::Network;
+pub use power::{EnergyModel, EnergyReport};
+pub use router::Router;
+pub use routing::{route_path, xy_next_hop};
+pub use stats::{LatencyStats, NetworkStats};
+pub use topology::{Coord, Direction, Mesh, NodeId};

@@ -1,0 +1,622 @@
+//! The cycle-level network simulation engine.
+
+use crate::config::NocConfig;
+use crate::flit::{Flit, Packet, PacketId, TrafficClass};
+use crate::router::Router;
+use crate::routing::xy_next_hop;
+use crate::stats::NetworkStats;
+use crate::topology::{Direction, Mesh, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// A packet currently being serialized into its source router's local port.
+#[derive(Debug, Clone)]
+struct PendingInjection {
+    flits: VecDeque<Flit>,
+    vc: usize,
+}
+
+/// A fully simulated 2-D mesh network.
+///
+/// The engine advances in discrete cycles. Each [`Network::step`]:
+///
+/// 1. **Injection** — every node's network interface pushes flits of the
+///    packet at the head of its injection queue into a free virtual channel
+///    of the router's local input port (one flit per cycle per node).
+/// 2. **Switch traversal** — every router moves at most one flit per input
+///    port and one flit per output port, subject to XY routing, virtual
+///    channel allocation at the downstream router and credit availability
+///    (a free downstream buffer slot). Flits never advance more than one hop
+///    per cycle.
+/// 3. **Ejection** — flits whose route terminates here are consumed and
+///    accounted in [`NetworkStats`].
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{Network, NocConfig, NodeId};
+///
+/// let mut net = Network::new(NocConfig::mesh(4, 4));
+/// net.enqueue_packet(NodeId(0), NodeId(15), 0);
+/// net.run(300);
+/// assert_eq!(net.stats().packets_received, 1);
+/// assert!(net.stats().packet_latency.mean() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NocConfig,
+    mesh: Mesh,
+    routers: Vec<Router>,
+    injection_queues: Vec<VecDeque<Packet>>,
+    pending: Vec<Option<PendingInjection>>,
+    head_injection_cycle: HashMap<PacketId, u64>,
+    stats: NetworkStats,
+    cycle: u64,
+    next_packet_id: u64,
+}
+
+impl Network {
+    /// Builds a network from a configuration.
+    pub fn new(config: NocConfig) -> Self {
+        let mesh = config.topology();
+        let routers = mesh.nodes().map(|id| Router::new(id, &config, &mesh)).collect();
+        let n = config.node_count();
+        Network {
+            mesh,
+            routers,
+            injection_queues: vec![VecDeque::new(); n],
+            pending: vec![None; n],
+            head_injection_cycle: HashMap::new(),
+            stats: NetworkStats::new(n),
+            cycle: 0,
+            next_packet_id: 0,
+            config,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The router of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the mesh.
+    pub fn router(&self, id: NodeId) -> &Router {
+        &self.routers[id.0]
+    }
+
+    /// Iterates over all routers in node-id order.
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter()
+    }
+
+    /// Number of packets waiting in the injection queue of node `id`
+    /// (including the packet currently being serialized).
+    pub fn injection_queue_len(&self, id: NodeId) -> usize {
+        self.injection_queues[id.0].len() + usize::from(self.pending[id.0].is_some())
+    }
+
+    /// Whether any node's injection queue has reached the configured
+    /// capacity — the saturation condition used to declare the "system
+    /// crashed" point of the FIR sweep (Figure 1).
+    pub fn is_saturated(&self) -> bool {
+        self.injection_queues
+            .iter()
+            .any(|q| q.len() >= self.config.injection_queue_capacity)
+    }
+
+    /// Enqueues a benign packet for injection at `src`, destined to `dst`.
+    /// Returns the new packet's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the mesh.
+    pub fn enqueue_packet(&mut self, src: NodeId, dst: NodeId, created_at: u64) -> PacketId {
+        self.enqueue_with_class(src, dst, created_at, TrafficClass::Benign)
+    }
+
+    /// Enqueues a packet with an explicit traffic class (used by the
+    /// flooding DoS model to label ground truth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the mesh.
+    pub fn enqueue_with_class(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        created_at: u64,
+        class: TrafficClass,
+    ) -> PacketId {
+        assert!(self.mesh.contains(src), "source {src} outside mesh");
+        assert!(self.mesh.contains(dst), "destination {dst} outside mesh");
+        self.enqueue_with_length(src, dst, created_at, class, self.config.flits_per_packet)
+    }
+
+    /// Enqueues a packet with an explicit flit count, overriding the
+    /// configured packet length. This models the payload-extension flavour
+    /// of flooding attacks (longer packets occupy buffers and links for more
+    /// cycles per packet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the mesh or `length_flits` is zero.
+    pub fn enqueue_with_length(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        created_at: u64,
+        class: TrafficClass,
+        length_flits: usize,
+    ) -> PacketId {
+        assert!(self.mesh.contains(src), "source {src} outside mesh");
+        assert!(self.mesh.contains(dst), "destination {dst} outside mesh");
+        assert!(length_flits > 0, "packets must contain at least one flit");
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let packet = Packet {
+            id,
+            src,
+            dst,
+            created_at,
+            class,
+            length_flits,
+        };
+        self.injection_queues[src.0].push_back(packet);
+        self.stats.packets_created += 1;
+        id
+    }
+
+    /// Like [`Network::enqueue_with_class`] but refuses the packet (returning
+    /// `false`) when the source injection queue is at capacity.
+    pub fn try_enqueue_with_class(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        created_at: u64,
+        class: TrafficClass,
+    ) -> bool {
+        if self.injection_queues[src.0].len() >= self.config.injection_queue_capacity {
+            self.stats.packets_dropped += 1;
+            return false;
+        }
+        self.enqueue_with_class(src, dst, created_at, class);
+        true
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.inject_phase();
+        self.traversal_phase();
+    }
+
+    /// Advances the simulation by `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Resets the BOC counters of every router (end of a sampling window).
+    pub fn reset_boc(&mut self) {
+        for r in &mut self.routers {
+            r.reset_boc();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Injection
+    // ------------------------------------------------------------------
+
+    fn inject_phase(&mut self) {
+        for node in 0..self.config.node_count() {
+            // Start serializing a new packet if the NI is idle.
+            if self.pending[node].is_none() {
+                if let Some(packet) = self.injection_queues[node].pop_front() {
+                    let port = self.routers[node]
+                        .input_port_mut(Direction::Local)
+                        .expect("every router has a local port");
+                    if let Some(vc) = port.free_vc() {
+                        port.vc_mut(vc).allocated = true;
+                        let mut flits: VecDeque<Flit> = packet.to_flits().into();
+                        for f in &mut flits {
+                            f.injected_at = self.cycle;
+                        }
+                        self.stats.packets_injected += 1;
+                        self.stats
+                            .packet_queue_latency
+                            .record(self.cycle.saturating_sub(packet.created_at));
+                        self.head_injection_cycle.insert(packet.id, self.cycle);
+                        self.pending[node] = Some(PendingInjection { flits, vc });
+                    } else {
+                        // No free VC at the local port: put the packet back.
+                        self.injection_queues[node].push_front(packet);
+                    }
+                }
+            }
+            // Push one flit of the in-progress packet (link bandwidth: one
+            // flit per cycle from the NI into the router).
+            let mut finished = false;
+            if let Some(pending) = self.pending[node].as_mut() {
+                let port = self.routers[node]
+                    .input_port_mut(Direction::Local)
+                    .expect("every router has a local port");
+                let vc = port.vc_mut(pending.vc);
+                if !vc.is_full() {
+                    if let Some(mut flit) = pending.flits.pop_front() {
+                        flit.injected_at = self.cycle;
+                        self.stats.flits_injected += 1;
+                        self.stats
+                            .flit_queue_latency
+                            .record(self.cycle.saturating_sub(flit.created_at));
+                        vc.push(flit, self.cycle);
+                        port.record_buffer_ops(1);
+                        self.stats.buffer_operations += 1;
+                    }
+                    finished = self.pending[node]
+                        .as_ref()
+                        .map(|p| p.flits.is_empty())
+                        .unwrap_or(false);
+                }
+            }
+            if finished {
+                self.pending[node] = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Switch traversal and ejection
+    // ------------------------------------------------------------------
+
+    fn traversal_phase(&mut self) {
+        let node_count = self.config.node_count();
+        let vcs = self.config.vcs_per_port;
+        // Per-router, per-direction "output already used this cycle" flags.
+        let mut output_used = vec![[false; 5]; node_count];
+
+        for node in 0..node_count {
+            // Rotate port and VC priority with the cycle for fairness.
+            let port_offset = (self.cycle as usize) % 5;
+            for p in 0..5 {
+                let dir = Direction::from_index((p + port_offset) % 5);
+                if self.routers[node].input_port(dir).is_none() {
+                    continue;
+                }
+                let vc_offset = (self.cycle as usize) % vcs;
+                // One flit per input port per cycle.
+                let mut port_sent = false;
+                for v in 0..vcs {
+                    if port_sent {
+                        break;
+                    }
+                    let vc_idx = (v + vc_offset) % vcs;
+                    port_sent = self.try_advance(node, dir, vc_idx, &mut output_used);
+                }
+            }
+        }
+    }
+
+    /// Attempts to advance the head-of-line flit of one VC by one hop.
+    /// Returns `true` if a flit moved (or was ejected).
+    fn try_advance(
+        &mut self,
+        node: usize,
+        dir: Direction,
+        vc_idx: usize,
+        output_used: &mut [[bool; 5]],
+    ) -> bool {
+        let cycle = self.cycle;
+        let cols = self.mesh.cols;
+
+        // Inspect the head-of-line flit.
+        let (flit, needs_route) = {
+            let port = match self.routers[node].input_port(dir) {
+                Some(p) => p,
+                None => return false,
+            };
+            let vc = port.vc(vc_idx);
+            match vc.front() {
+                Some(b) if b.arrived_at < cycle => (b.flit, vc.route_out.is_none()),
+                _ => return false,
+            }
+        };
+
+        // Route computation for head flits.
+        let out_dir = if needs_route {
+            let d = xy_next_hop(NodeId(node), flit.dst, cols);
+            let port = self.routers[node].input_port_mut(dir).unwrap();
+            port.vc_mut(vc_idx).route_out = Some(d);
+            d
+        } else {
+            self.routers[node].input_port(dir).unwrap().vc(vc_idx).route_out.unwrap()
+        };
+
+        // Output port contention: one flit per output per cycle.
+        if output_used[node][out_dir.index()] {
+            return false;
+        }
+
+        if out_dir == Direction::Local {
+            // Ejection.
+            let port = self.routers[node].input_port_mut(dir).unwrap();
+            let buffered = port.vc_mut(vc_idx).pop().expect("front checked above");
+            port.record_buffer_ops(1);
+            self.stats.buffer_operations += 1;
+            if buffered.flit.kind.is_tail() {
+                port.vc_mut(vc_idx).release();
+            }
+            output_used[node][out_dir.index()] = true;
+            self.account_ejection(buffered.flit);
+            return true;
+        }
+
+        // Downstream router and input direction.
+        let downstream = match self.mesh.neighbor(NodeId(node), out_dir) {
+            Some(d) => d.0,
+            None => unreachable!("XY routing never points off the mesh"),
+        };
+        let down_dir = out_dir.opposite();
+
+        // Virtual-channel allocation at the downstream input port.
+        let assigned_vc = {
+            let vc_state = self.routers[node].input_port(dir).unwrap().vc(vc_idx);
+            vc_state.downstream_vc
+        };
+        let down_vc = match assigned_vc {
+            Some(v) => v,
+            None => {
+                if !flit.kind.is_head() {
+                    // Body/tail flits must follow the head's allocation; if it
+                    // is missing the packet's VC was released prematurely.
+                    return false;
+                }
+                let down_port = self.routers[downstream].input_port(down_dir).expect(
+                    "downstream router must have an input port facing the upstream router",
+                );
+                match down_port.free_vc() {
+                    Some(v) => {
+                        // Reserve it immediately so no other router grabs it
+                        // during this cycle.
+                        self.routers[downstream]
+                            .input_port_mut(down_dir)
+                            .unwrap()
+                            .vc_mut(v)
+                            .allocated = true;
+                        self.routers[node]
+                            .input_port_mut(dir)
+                            .unwrap()
+                            .vc_mut(vc_idx)
+                            .downstream_vc = Some(v);
+                        v
+                    }
+                    None => return false,
+                }
+            }
+        };
+
+        // Credit check: downstream buffer must have a free slot.
+        if self.routers[downstream]
+            .input_port(down_dir)
+            .unwrap()
+            .vc(down_vc)
+            .is_full()
+        {
+            return false;
+        }
+
+        // Move the flit.
+        let buffered = {
+            let port = self.routers[node].input_port_mut(dir).unwrap();
+            let b = port.vc_mut(vc_idx).pop().expect("front checked above");
+            port.record_buffer_ops(1);
+            if b.flit.kind.is_tail() {
+                port.vc_mut(vc_idx).release();
+            }
+            b
+        };
+        {
+            let port = self.routers[downstream].input_port_mut(down_dir).unwrap();
+            port.vc_mut(down_vc).push(buffered.flit, cycle);
+            port.record_buffer_ops(1);
+        }
+        self.stats.buffer_operations += 2;
+        self.stats.link_traversals += 1;
+        output_used[node][out_dir.index()] = true;
+        true
+    }
+
+    fn account_ejection(&mut self, flit: Flit) {
+        self.stats.flits_received += 1;
+        self.stats
+            .flit_latency
+            .record(self.cycle.saturating_sub(flit.created_at));
+        if flit.kind.is_tail() {
+            self.stats.packets_received += 1;
+            self.stats.received_per_node[flit.dst.0] += 1;
+            self.stats
+                .packet_latency
+                .record(self.cycle.saturating_sub(flit.created_at));
+            if let Some(head_cycle) = self.head_injection_cycle.remove(&flit.packet) {
+                self.stats
+                    .packet_network_latency
+                    .record(self.cycle.saturating_sub(head_cycle));
+            }
+            if flit.class == TrafficClass::Malicious {
+                self.stats.malicious_packets_received += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_is_delivered() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        net.enqueue_packet(NodeId(0), NodeId(15), 0);
+        net.run(200);
+        assert_eq!(net.stats().packets_created, 1);
+        assert_eq!(net.stats().packets_received, 1);
+        assert_eq!(net.stats().flits_received, net.config().flits_per_packet as u64);
+        assert_eq!(net.stats().received_per_node[15], 1);
+    }
+
+    #[test]
+    fn packet_to_self_is_delivered() {
+        let mut net = Network::new(NocConfig::mesh(2, 2));
+        net.enqueue_packet(NodeId(3), NodeId(3), 0);
+        net.run(50);
+        assert_eq!(net.stats().packets_received, 1);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let mut near = Network::new(NocConfig::mesh(8, 8));
+        near.enqueue_packet(NodeId(0), NodeId(1), 0);
+        near.run(200);
+        let mut far = Network::new(NocConfig::mesh(8, 8));
+        far.enqueue_packet(NodeId(0), NodeId(63), 0);
+        far.run(200);
+        assert!(
+            far.stats().packet_latency.mean() > near.stats().packet_latency.mean(),
+            "far {} should exceed near {}",
+            far.stats().packet_latency.mean(),
+            near.stats().packet_latency.mean()
+        );
+    }
+
+    #[test]
+    fn all_packets_delivered_under_light_load() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        // One packet from every node to the opposite node, staggered.
+        for n in 0..16 {
+            net.enqueue_packet(NodeId(n), NodeId(15 - n), 0);
+        }
+        net.run(500);
+        assert_eq!(net.stats().packets_received, 16);
+        assert_eq!(net.stats().packets_created, 16);
+    }
+
+    #[test]
+    fn flit_conservation_no_loss_no_duplication() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        for n in 0..16 {
+            net.enqueue_packet(NodeId(n), NodeId((n * 7 + 3) % 16), 0);
+        }
+        net.run(1000);
+        let s = net.stats();
+        assert_eq!(s.flits_injected, s.flits_received);
+        assert_eq!(s.packets_injected, s.packets_received);
+        // Nothing left in any router buffer.
+        let leftover: usize = net.routers().map(|r| r.buffered_flits()).sum();
+        assert_eq!(leftover, 0);
+    }
+
+    #[test]
+    fn hotspot_congestion_raises_vco_on_path() {
+        // Flood node 0 from node 3 (same row, westward traffic) on a 4x4 mesh
+        // and check that East input ports along the row become occupied.
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        for c in 0..400u64 {
+            net.enqueue_packet(NodeId(3), NodeId(0), c);
+            net.step();
+        }
+        let vco_on_path = net.router(NodeId(1)).vco(Direction::East).unwrap();
+        let vco_off_path = net.router(NodeId(13)).vco(Direction::East).unwrap();
+        assert!(
+            vco_on_path > vco_off_path,
+            "on-path VCO {vco_on_path} should exceed off-path {vco_off_path}"
+        );
+        let boc_on_path = net.router(NodeId(1)).boc(Direction::East).unwrap();
+        let boc_off_path = net.router(NodeId(13)).boc(Direction::East).unwrap();
+        assert!(boc_on_path > boc_off_path);
+    }
+
+    #[test]
+    fn boc_reset_clears_counters() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        for c in 0..100u64 {
+            net.enqueue_packet(NodeId(3), NodeId(0), c);
+            net.step();
+        }
+        assert!(net.router(NodeId(1)).boc(Direction::East).unwrap() > 0);
+        net.reset_boc();
+        assert_eq!(net.router(NodeId(1)).boc(Direction::East).unwrap(), 0);
+    }
+
+    #[test]
+    fn saturation_detected_when_queue_grows() {
+        let cfg = NocConfig::mesh(2, 2).with_injection_queue_capacity(8);
+        let mut net = Network::new(cfg);
+        // Enqueue far more packets than the network can drain.
+        for c in 0..64u64 {
+            net.enqueue_packet(NodeId(0), NodeId(3), c);
+        }
+        assert!(net.is_saturated());
+        net.run(2000);
+        assert!(!net.is_saturated(), "queues should eventually drain");
+    }
+
+    #[test]
+    fn try_enqueue_respects_capacity() {
+        let cfg = NocConfig::mesh(2, 2).with_injection_queue_capacity(2);
+        let mut net = Network::new(cfg);
+        assert!(net.try_enqueue_with_class(NodeId(0), NodeId(3), 0, TrafficClass::Benign));
+        assert!(net.try_enqueue_with_class(NodeId(0), NodeId(3), 0, TrafficClass::Benign));
+        assert!(!net.try_enqueue_with_class(NodeId(0), NodeId(3), 0, TrafficClass::Benign));
+        assert_eq!(net.stats().packets_dropped, 1);
+    }
+
+    #[test]
+    fn malicious_packets_are_counted_separately() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        net.enqueue_with_class(NodeId(0), NodeId(5), 0, TrafficClass::Malicious);
+        net.enqueue_packet(NodeId(2), NodeId(6), 0);
+        net.run(300);
+        assert_eq!(net.stats().packets_received, 2);
+        assert_eq!(net.stats().malicious_packets_received, 1);
+    }
+
+    #[test]
+    fn queue_latency_reflects_waiting_time() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        // Many packets from the same node must serialize through one NI.
+        for _ in 0..10 {
+            net.enqueue_packet(NodeId(0), NodeId(3), 0);
+        }
+        net.run(500);
+        let s = net.stats();
+        assert_eq!(s.packets_received, 10);
+        assert!(s.packet_queue_latency.max > s.packet_queue_latency.min);
+        assert!(s.packet_latency.mean() >= s.packet_network_latency.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn enqueue_outside_mesh_panics() {
+        let mut net = Network::new(NocConfig::mesh(2, 2));
+        net.enqueue_packet(NodeId(9), NodeId(0), 0);
+    }
+}

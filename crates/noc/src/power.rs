@@ -1,0 +1,164 @@
+//! A simple activity-based energy model.
+//!
+//! The paper motivates flooding DoS partly through "a surge in power
+//! consumption". This module turns the simulator's activity counters
+//! (buffer operations, link traversals, cycles) into energy estimates so
+//! that effect can be quantified alongside the latency impact of Figure 1.
+//!
+//! The per-event energies are representative 32 nm-class values (in
+//! picojoules) of the kind used by NoC power models such as DSENT/Orion;
+//! only the *relative* growth with the flooding injection rate matters for
+//! the reproduction.
+
+use crate::stats::NetworkStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-event and static energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per buffer read or write, in picojoules.
+    pub pj_per_buffer_op: f64,
+    /// Energy per flit link traversal (wire + crossbar), in picojoules.
+    pub pj_per_link_traversal: f64,
+    /// Energy per flit injection/ejection at a network interface, in
+    /// picojoules.
+    pub pj_per_ni_event: f64,
+    /// Static (leakage + clock) power per router, in milliwatts.
+    pub static_mw_per_router: f64,
+    /// Clock frequency in GHz (the paper's system clock is 2 GHz).
+    pub clock_ghz: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            pj_per_buffer_op: 1.2,
+            pj_per_link_traversal: 2.0,
+            pj_per_ni_event: 0.8,
+            static_mw_per_router: 0.5,
+            clock_ghz: 2.0,
+        }
+    }
+}
+
+/// The energy breakdown of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic energy spent in buffers, in nanojoules.
+    pub buffer_nj: f64,
+    /// Dynamic energy spent on links/crossbars, in nanojoules.
+    pub link_nj: f64,
+    /// Dynamic energy spent at network interfaces, in nanojoules.
+    pub ni_nj: f64,
+    /// Static energy over the simulated interval, in nanojoules.
+    pub static_nj: f64,
+    /// Total energy, in nanojoules.
+    pub total_nj: f64,
+    /// Average power over the simulated interval, in milliwatts.
+    pub average_mw: f64,
+}
+
+impl EnergyModel {
+    /// Creates the default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimates the energy of a run from its statistics and the number of
+    /// routers in the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router_count` is zero.
+    pub fn estimate(&self, stats: &NetworkStats, router_count: usize) -> EnergyReport {
+        assert!(router_count > 0, "router count must be non-zero");
+        let buffer_nj = stats.buffer_operations as f64 * self.pj_per_buffer_op / 1_000.0;
+        let link_nj = stats.link_traversals as f64 * self.pj_per_link_traversal / 1_000.0;
+        let ni_events = stats.flits_injected + stats.flits_received;
+        let ni_nj = ni_events as f64 * self.pj_per_ni_event / 1_000.0;
+        let seconds = if self.clock_ghz > 0.0 {
+            stats.cycles as f64 / (self.clock_ghz * 1e9)
+        } else {
+            0.0
+        };
+        let static_nj = self.static_mw_per_router * router_count as f64 * seconds * 1e6;
+        let total_nj = buffer_nj + link_nj + ni_nj + static_nj;
+        let average_mw = if seconds > 0.0 {
+            total_nj / 1e6 / seconds
+        } else {
+            0.0
+        };
+        EnergyReport {
+            buffer_nj,
+            link_nj,
+            ni_nj,
+            static_nj,
+            total_nj,
+            average_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use crate::network::Network;
+    use crate::topology::NodeId;
+
+    fn run(packets: usize) -> NetworkStats {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        for i in 0..packets {
+            net.enqueue_packet(NodeId(i % 16), NodeId((i * 5 + 3) % 16), 0);
+        }
+        net.run(2_000);
+        net.stats().clone()
+    }
+
+    #[test]
+    fn idle_network_consumes_only_static_energy() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        net.run(1_000);
+        let report = EnergyModel::new().estimate(net.stats(), 16);
+        assert_eq!(report.buffer_nj, 0.0);
+        assert_eq!(report.link_nj, 0.0);
+        assert!(report.static_nj > 0.0);
+        assert!((report.total_nj - report.static_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_traffic_means_more_dynamic_energy() {
+        let light = EnergyModel::new().estimate(&run(4), 16);
+        let heavy = EnergyModel::new().estimate(&run(64), 16);
+        assert!(heavy.buffer_nj > light.buffer_nj);
+        assert!(heavy.link_nj > light.link_nj);
+        assert!(heavy.total_nj > light.total_nj);
+    }
+
+    #[test]
+    fn average_power_is_consistent_with_energy_and_time() {
+        let stats = run(32);
+        let model = EnergyModel::new();
+        let report = model.estimate(&stats, 16);
+        let seconds = stats.cycles as f64 / (model.clock_ghz * 1e9);
+        let expected_mw = report.total_nj / 1e6 / seconds;
+        assert!((report.average_mw - expected_mw).abs() < 1e-9);
+        assert!(report.average_mw > 0.0);
+    }
+
+    #[test]
+    fn activity_counters_are_populated_by_the_simulator() {
+        let stats = run(32);
+        assert!(stats.buffer_operations > 0);
+        assert!(stats.link_traversals > 0);
+        // Every link traversal implies a pop and a push, plus injections and
+        // ejections also touch buffers.
+        assert!(stats.buffer_operations > stats.link_traversals);
+    }
+
+    #[test]
+    #[should_panic(expected = "router count")]
+    fn zero_router_count_panics() {
+        EnergyModel::new().estimate(&NetworkStats::new(4), 0);
+    }
+}

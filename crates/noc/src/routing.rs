@@ -1,0 +1,186 @@
+//! Deterministic XY dimension-order routing.
+//!
+//! XY routing first corrects the X (east/west) offset, then the Y
+//! (north/south) offset. Because both the benign workloads and the flooding
+//! attackers follow it, the attack path is a deterministic L-shaped route —
+//! the property the paper's Victim Completing Enhancement and Table-Like
+//! Method rely on.
+
+use crate::topology::{Coord, Direction, Mesh, NodeId};
+
+/// The output direction a router at `current` chooses for a flit destined to
+/// `dst` under XY routing. Returns [`Direction::Local`] when
+/// `current == dst`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{xy_next_hop, NodeId, Direction};
+///
+/// // On a 4x4 mesh, node 0 -> node 5 goes East first.
+/// assert_eq!(xy_next_hop(NodeId(0), NodeId(5), 4), Direction::East);
+/// // Once X is aligned (node 1 -> node 5), it goes North.
+/// assert_eq!(xy_next_hop(NodeId(1), NodeId(5), 4), Direction::North);
+/// ```
+pub fn xy_next_hop(current: NodeId, dst: NodeId, cols: usize) -> Direction {
+    let c = Coord::from_id(current, cols);
+    let d = Coord::from_id(dst, cols);
+    if c.x < d.x {
+        Direction::East
+    } else if c.x > d.x {
+        Direction::West
+    } else if c.y < d.y {
+        Direction::North
+    } else if c.y > d.y {
+        Direction::South
+    } else {
+        Direction::Local
+    }
+}
+
+/// The full XY route from `src` to `dst` (inclusive of both endpoints).
+///
+/// This is also the set of nodes the paper calls *routing-path victims*
+/// (RPV) when `src` is an attacker and `dst` the target victim.
+///
+/// # Panics
+///
+/// Panics if either endpoint lies outside the mesh.
+pub fn route_path(src: NodeId, dst: NodeId, mesh: &Mesh) -> Vec<NodeId> {
+    assert!(mesh.contains(src), "source {src} outside mesh");
+    assert!(mesh.contains(dst), "destination {dst} outside mesh");
+    let mut path = vec![src];
+    let mut current = src;
+    while current != dst {
+        let dir = xy_next_hop(current, dst, mesh.cols);
+        current = mesh
+            .neighbor(current, dir)
+            .expect("XY routing stepped off the mesh");
+        path.push(current);
+    }
+    path
+}
+
+/// The input direction at which traffic from `src` arrives at each node of
+/// its XY route towards `dst`.
+///
+/// Returns `(node, input_direction)` pairs for every hop except the source
+/// itself. The input direction at a node is the direction of the *upstream*
+/// neighbour, e.g. traffic flowing westwards arrives on the East input port.
+pub fn route_input_ports(src: NodeId, dst: NodeId, mesh: &Mesh) -> Vec<(NodeId, Direction)> {
+    let path = route_path(src, dst, mesh);
+    path.windows(2)
+        .map(|w| {
+            let (from, to) = (w[0], w[1]);
+            // Find which direction `from` lies in, seen from `to`.
+            let dir = Direction::CARDINAL
+                .into_iter()
+                .find(|&d| mesh.neighbor(to, d) == Some(from))
+                .expect("adjacent nodes must be neighbours");
+            (to, dir)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn next_hop_at_destination_is_local() {
+        assert_eq!(xy_next_hop(NodeId(7), NodeId(7), 4), Direction::Local);
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        // 4x4 mesh: 0=(0,0), 10=(2,2).
+        assert_eq!(xy_next_hop(NodeId(0), NodeId(10), 4), Direction::East);
+        assert_eq!(xy_next_hop(NodeId(2), NodeId(10), 4), Direction::North);
+    }
+
+    #[test]
+    fn route_path_is_l_shaped() {
+        let mesh = Mesh::new(4, 4);
+        let path = route_path(NodeId(0), NodeId(10), &mesh);
+        assert_eq!(
+            path,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]
+        );
+    }
+
+    #[test]
+    fn route_path_same_node_is_singleton() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(route_path(NodeId(5), NodeId(5), &mesh), vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn route_length_is_manhattan_plus_one() {
+        let mesh = Mesh::new(8, 8);
+        let src = NodeId(3);
+        let dst = NodeId(60);
+        let d = mesh.coord(src).manhattan(mesh.coord(dst));
+        assert_eq!(route_path(src, dst, &mesh).len(), d + 1);
+    }
+
+    #[test]
+    fn eastward_flood_arrives_on_west_ports() {
+        // Attacker at node 0 flooding node 3 on a 4x4 mesh sends eastwards,
+        // so victims see the traffic on their West input ports.
+        let mesh = Mesh::new(4, 4);
+        let ports = route_input_ports(NodeId(0), NodeId(3), &mesh);
+        assert_eq!(ports.len(), 3);
+        assert!(ports.iter().all(|&(_, d)| d == Direction::West));
+    }
+
+    #[test]
+    fn westward_flood_arrives_on_east_ports() {
+        let mesh = Mesh::new(4, 4);
+        let ports = route_input_ports(NodeId(3), NodeId(0), &mesh);
+        assert!(ports.iter().all(|&(_, d)| d == Direction::East));
+    }
+
+    #[test]
+    fn northward_leg_arrives_on_south_ports() {
+        let mesh = Mesh::new(4, 4);
+        // 0 -> 12 is straight north.
+        let ports = route_input_ports(NodeId(0), NodeId(12), &mesh);
+        assert!(ports.iter().all(|&(_, d)| d == Direction::South));
+    }
+
+    proptest! {
+        #[test]
+        fn route_always_reaches_destination(
+            src in 0usize..256, dst in 0usize..256
+        ) {
+            let mesh = Mesh::new(16, 16);
+            let path = route_path(NodeId(src), NodeId(dst), &mesh);
+            prop_assert_eq!(*path.first().unwrap(), NodeId(src));
+            prop_assert_eq!(*path.last().unwrap(), NodeId(dst));
+            // Every consecutive pair is adjacent.
+            for w in path.windows(2) {
+                let a = mesh.coord(w[0]);
+                let b = mesh.coord(w[1]);
+                prop_assert_eq!(a.manhattan(b), 1);
+            }
+        }
+
+        #[test]
+        fn route_is_minimal(src in 0usize..64, dst in 0usize..64) {
+            let mesh = Mesh::new(8, 8);
+            let path = route_path(NodeId(src), NodeId(dst), &mesh);
+            let d = mesh.coord(NodeId(src)).manhattan(mesh.coord(NodeId(dst)));
+            prop_assert_eq!(path.len(), d + 1);
+        }
+
+        #[test]
+        fn next_hop_never_points_off_mesh(src in 0usize..64, dst in 0usize..64) {
+            let mesh = Mesh::new(8, 8);
+            let dir = xy_next_hop(NodeId(src), NodeId(dst), 8);
+            if dir != Direction::Local {
+                prop_assert!(mesh.neighbor(NodeId(src), dir).is_some());
+            }
+        }
+    }
+}

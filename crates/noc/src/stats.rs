@@ -1,0 +1,203 @@
+//! Latency and throughput statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary statistics (count / mean / min / max) of a latency
+/// distribution, measured in cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+}
+
+impl LatencyStats {
+    /// Creates an empty statistic.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// The arithmetic mean, or 0.0 if no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another statistic into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregate counters and latency distributions of a simulation run.
+///
+/// The latency breakdown mirrors the four curves of the paper's Figure 1:
+/// packet queue latency, packet latency, flit queue latency and flit latency.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Packets that entered an injection queue.
+    pub packets_created: u64,
+    /// Packets whose head flit entered the router fabric.
+    pub packets_injected: u64,
+    /// Packets fully delivered (tail flit ejected).
+    pub packets_received: u64,
+    /// Flits injected into the fabric.
+    pub flits_injected: u64,
+    /// Flits ejected at their destination.
+    pub flits_received: u64,
+    /// Packets dropped because a source injection queue was full.
+    pub packets_dropped: u64,
+    /// Malicious (flooding) packets delivered.
+    pub malicious_packets_received: u64,
+    /// Time spent by packets waiting in the injection queue
+    /// (creation → head-flit injection).
+    pub packet_queue_latency: LatencyStats,
+    /// End-to-end packet latency (creation → tail-flit ejection).
+    pub packet_latency: LatencyStats,
+    /// Network-only packet latency (head injection → tail ejection).
+    pub packet_network_latency: LatencyStats,
+    /// Per-flit queueing latency (creation → injection).
+    pub flit_queue_latency: LatencyStats,
+    /// Per-flit end-to-end latency (creation → ejection).
+    pub flit_latency: LatencyStats,
+    /// Packets delivered to each node, indexed by node id.
+    pub received_per_node: Vec<u64>,
+    /// Total buffer read/write operations across every router input port
+    /// (never reset, unlike the per-port BOC sampling counters).
+    pub buffer_operations: u64,
+    /// Total flit link traversals (router-to-router hops).
+    pub link_traversals: u64,
+}
+
+impl NetworkStats {
+    /// Creates an empty statistics block for a `node_count`-node network.
+    pub fn new(node_count: usize) -> Self {
+        NetworkStats {
+            received_per_node: vec![0; node_count],
+            ..Default::default()
+        }
+    }
+
+    /// Average injection throughput in packets per node per cycle.
+    pub fn offered_load(&self) -> f64 {
+        if self.cycles == 0 || self.received_per_node.is_empty() {
+            return 0.0;
+        }
+        self.packets_created as f64 / (self.cycles as f64 * self.received_per_node.len() as f64)
+    }
+
+    /// Average delivered throughput in packets per node per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 || self.received_per_node.is_empty() {
+            return 0.0;
+        }
+        self.packets_received as f64 / (self.cycles as f64 * self.received_per_node.len() as f64)
+    }
+
+    /// Fraction of created packets that were delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_created == 0 {
+            return 1.0;
+        }
+        self.packets_received as f64 / self.packets_created as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_track_min_max_mean() {
+        let mut s = LatencyStats::new();
+        s.record(10);
+        s.record(20);
+        s.record(30);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_latency_stats_mean_is_zero() {
+        assert_eq!(LatencyStats::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencyStats::new();
+        a.record(5);
+        let mut b = LatencyStats::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 5);
+        assert_eq!(a.max, 25);
+        let empty = LatencyStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throughput_and_delivery_ratio() {
+        let mut s = NetworkStats::new(4);
+        s.cycles = 100;
+        s.packets_created = 40;
+        s.packets_received = 20;
+        assert!((s.throughput() - 0.05).abs() < 1e-12);
+        assert!((s.offered_load() - 0.1).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_stats_are_safe() {
+        let s = NetworkStats::new(4);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.offered_load(), 0.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+}

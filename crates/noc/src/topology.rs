@@ -1,0 +1,354 @@
+//! Mesh topology primitives: node identifiers, coordinates and directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node (tile/router) identifier: `id = y * cols + x`.
+///
+/// This is the numbering the paper's Table-Like Method assumes: the East
+/// neighbour of node `n` is `n + 1`, the North neighbour is `n + cols`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A mesh coordinate. `x` grows towards the East, `y` grows towards the
+/// North.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Coord {
+    /// Column (0 = westmost).
+    pub x: usize,
+    /// Row (0 = southmost).
+    pub y: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: usize, y: usize) -> Self {
+        Coord { x, y }
+    }
+
+    /// Converts a node id into a coordinate on a mesh with `cols` columns.
+    pub fn from_id(id: NodeId, cols: usize) -> Self {
+        Coord {
+            x: id.0 % cols,
+            y: id.0 / cols,
+        }
+    }
+
+    /// Converts the coordinate back into a node id on a mesh with `cols`
+    /// columns.
+    pub fn to_id(self, cols: usize) -> NodeId {
+        NodeId(self.y * cols + self.x)
+    }
+
+    /// Manhattan (hop) distance to another coordinate.
+    pub fn manhattan(self, other: Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A port direction on a mesh router.
+///
+/// `Local` is the network-interface port connecting the router to its tile.
+/// The four cardinal directions name *where the neighbour is*: a flit that
+/// arrives on the **East input port** was sent by the East neighbour
+/// (`id + 1`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Direction {
+    /// Towards/from the neighbour at `id + 1`.
+    East,
+    /// Towards/from the neighbour at `id + cols`.
+    North,
+    /// Towards/from the neighbour at `id - 1`.
+    West,
+    /// Towards/from the neighbour at `id - cols`.
+    South,
+    /// The local tile / network interface.
+    Local,
+}
+
+impl Direction {
+    /// The four cardinal directions in the paper's `E, N, W, S` order.
+    pub const CARDINAL: [Direction; 4] = [
+        Direction::East,
+        Direction::North,
+        Direction::West,
+        Direction::South,
+    ];
+
+    /// All five port directions.
+    pub const ALL: [Direction; 5] = [
+        Direction::East,
+        Direction::North,
+        Direction::West,
+        Direction::South,
+        Direction::Local,
+    ];
+
+    /// The opposite cardinal direction. `Local` is its own opposite.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// A stable small index for array-indexed port storage
+    /// (E=0, N=1, W=2, S=3, Local=4).
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::North => 1,
+            Direction::West => 2,
+            Direction::South => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The inverse of [`Direction::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 4`.
+    pub fn from_index(idx: usize) -> Direction {
+        Direction::ALL[idx]
+    }
+
+    /// Single-letter label used in frame names (`E`, `N`, `W`, `S`, `L`).
+    pub fn letter(self) -> char {
+        match self {
+            Direction::East => 'E',
+            Direction::North => 'N',
+            Direction::West => 'W',
+            Direction::South => 'S',
+            Direction::Local => 'L',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A rectangular 2-D mesh topology helper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh topology descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be non-zero");
+        Mesh { rows, cols }
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Returns `true` if `id` is a valid node of this mesh.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.0 < self.node_count()
+    }
+
+    /// The coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn coord(&self, id: NodeId) -> Coord {
+        assert!(self.contains(id), "node {id} outside {}x{} mesh", self.rows, self.cols);
+        Coord::from_id(id, self.cols)
+    }
+
+    /// The neighbour of `id` in direction `dir`, or `None` at a mesh edge
+    /// (or for `Local`).
+    pub fn neighbor(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(id);
+        let n = match dir {
+            Direction::East => {
+                if c.x + 1 < self.cols {
+                    Coord::new(c.x + 1, c.y)
+                } else {
+                    return None;
+                }
+            }
+            Direction::West => {
+                if c.x > 0 {
+                    Coord::new(c.x - 1, c.y)
+                } else {
+                    return None;
+                }
+            }
+            Direction::North => {
+                if c.y + 1 < self.rows {
+                    Coord::new(c.x, c.y + 1)
+                } else {
+                    return None;
+                }
+            }
+            Direction::South => {
+                if c.y > 0 {
+                    Coord::new(c.x, c.y - 1)
+                } else {
+                    return None;
+                }
+            }
+            Direction::Local => return None,
+        };
+        Some(n.to_id(self.cols))
+    }
+
+    /// Whether the router at `id` has an input port from direction `dir`
+    /// (i.e. a neighbour exists on that side).
+    pub fn has_input_port(&self, id: NodeId, dir: Direction) -> bool {
+        dir == Direction::Local || self.neighbor(id, dir).is_some()
+    }
+
+    /// Iterates over all node ids in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_round_trip() {
+        let mesh = Mesh::new(4, 4);
+        for id in mesh.nodes() {
+            assert_eq!(mesh.coord(id).to_id(4), id);
+        }
+    }
+
+    #[test]
+    fn neighbor_arithmetic_matches_paper_convention() {
+        let mesh = Mesh::new(16, 16);
+        // Interior node: East = +1, West = -1, North = +16, South = -16.
+        let id = NodeId(100);
+        assert_eq!(mesh.neighbor(id, Direction::East), Some(NodeId(101)));
+        assert_eq!(mesh.neighbor(id, Direction::West), Some(NodeId(99)));
+        assert_eq!(mesh.neighbor(id, Direction::North), Some(NodeId(116)));
+        assert_eq!(mesh.neighbor(id, Direction::South), Some(NodeId(84)));
+    }
+
+    #[test]
+    fn corner_nodes_have_two_neighbors() {
+        let mesh = Mesh::new(4, 4);
+        let corners = [NodeId(0), NodeId(3), NodeId(12), NodeId(15)];
+        for c in corners {
+            let n = Direction::CARDINAL
+                .iter()
+                .filter(|&&d| mesh.neighbor(c, d).is_some())
+                .count();
+            assert_eq!(n, 2, "corner {c} should have exactly 2 neighbours");
+        }
+    }
+
+    #[test]
+    fn edge_nodes_have_three_neighbors() {
+        let mesh = Mesh::new(4, 4);
+        let edges = [NodeId(1), NodeId(2), NodeId(4), NodeId(7), NodeId(13)];
+        for e in edges {
+            let n = Direction::CARDINAL
+                .iter()
+                .filter(|&&d| mesh.neighbor(e, d).is_some())
+                .count();
+            assert_eq!(n, 3, "edge {e} should have exactly 3 neighbours");
+        }
+    }
+
+    #[test]
+    fn interior_nodes_have_four_neighbors() {
+        let mesh = Mesh::new(4, 4);
+        for id in [NodeId(5), NodeId(6), NodeId(9), NodeId(10)] {
+            let n = Direction::CARDINAL
+                .iter()
+                .filter(|&&d| mesh.neighbor(id, d).is_some())
+                .count();
+            assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn opposite_directions() {
+        assert_eq!(Direction::East.opposite(), Direction::West);
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        assert_eq!(Direction::Local.opposite(), Direction::Local);
+        for d in Direction::CARDINAL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn direction_index_round_trip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(0, 0);
+        let b = Coord::new(3, 2);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn has_input_port_respects_edges() {
+        let mesh = Mesh::new(4, 4);
+        // Node 0 is the SW corner: no West, no South inputs.
+        assert!(!mesh.has_input_port(NodeId(0), Direction::West));
+        assert!(!mesh.has_input_port(NodeId(0), Direction::South));
+        assert!(mesh.has_input_port(NodeId(0), Direction::East));
+        assert!(mesh.has_input_port(NodeId(0), Direction::North));
+        assert!(mesh.has_input_port(NodeId(0), Direction::Local));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn coord_of_invalid_node_panics() {
+        Mesh::new(2, 2).coord(NodeId(4));
+    }
+}

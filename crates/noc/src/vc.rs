@@ -1,0 +1,304 @@
+//! Virtual channels and router input ports.
+
+use crate::flit::Flit;
+use crate::topology::Direction;
+use std::collections::VecDeque;
+
+/// A flit stored in a VC buffer, stamped with its arrival cycle so a flit
+/// never traverses more than one hop per cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferedFlit {
+    /// The flit itself.
+    pub flit: Flit,
+    /// Cycle at which the flit was written into this buffer.
+    pub arrived_at: u64,
+}
+
+/// One virtual channel: a FIFO flit buffer plus the per-packet routing state
+/// of the packet currently holding the channel.
+#[derive(Debug, Clone)]
+pub struct VirtualChannel {
+    buffer: VecDeque<BufferedFlit>,
+    capacity: usize,
+    /// Output direction decided when the head flit reached the front.
+    pub route_out: Option<Direction>,
+    /// Downstream VC index allocated for the current packet.
+    pub downstream_vc: Option<usize>,
+    /// Whether an in-flight packet currently owns this channel.
+    pub allocated: bool,
+}
+
+impl VirtualChannel {
+    /// Creates an empty VC with the given buffer capacity (in flits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "VC buffer capacity must be non-zero");
+        VirtualChannel {
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            route_out: None,
+            downstream_vc: None,
+            allocated: false,
+        }
+    }
+
+    /// Number of flits currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Buffer capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the buffer holds no flits.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Whether the buffer has no free slot (no credit available upstream).
+    pub fn is_full(&self) -> bool {
+        self.buffer.len() >= self.capacity
+    }
+
+    /// Whether this VC is considered *occupied* for the VCO feature: it is
+    /// occupied while a packet owns it or flits are buffered.
+    pub fn is_occupied(&self) -> bool {
+        self.allocated || !self.buffer.is_empty()
+    }
+
+    /// Pushes a flit into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — callers must check credits first; a
+    /// violation indicates a flow-control bug.
+    pub fn push(&mut self, flit: Flit, cycle: u64) {
+        assert!(
+            !self.is_full(),
+            "credit violation: pushing into a full VC buffer"
+        );
+        self.buffer.push_back(BufferedFlit {
+            flit,
+            arrived_at: cycle,
+        });
+    }
+
+    /// The head-of-line flit, if any.
+    pub fn front(&self) -> Option<&BufferedFlit> {
+        self.buffer.front()
+    }
+
+    /// Removes and returns the head-of-line flit.
+    pub fn pop(&mut self) -> Option<BufferedFlit> {
+        self.buffer.pop_front()
+    }
+
+    /// Releases the per-packet state after the tail flit has left.
+    pub fn release(&mut self) {
+        self.route_out = None;
+        self.downstream_vc = None;
+        self.allocated = false;
+    }
+}
+
+/// A router input port: a set of virtual channels plus the port's cumulative
+/// buffer-operation counter.
+#[derive(Debug, Clone)]
+pub struct InputPort {
+    direction: Direction,
+    vcs: Vec<VirtualChannel>,
+    /// Cumulative buffer reads + writes since the last [`InputPort::reset_boc`].
+    boc: u64,
+}
+
+impl InputPort {
+    /// Creates an input port with `vc_count` virtual channels of
+    /// `buffer_depth` flits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc_count` or `buffer_depth` is zero.
+    pub fn new(direction: Direction, vc_count: usize, buffer_depth: usize) -> Self {
+        assert!(vc_count > 0, "an input port needs at least one VC");
+        InputPort {
+            direction,
+            vcs: (0..vc_count)
+                .map(|_| VirtualChannel::new(buffer_depth))
+                .collect(),
+            boc: 0,
+        }
+    }
+
+    /// The direction this port faces.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Number of virtual channels.
+    pub fn vc_count(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Immutable access to a VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn vc(&self, idx: usize) -> &VirtualChannel {
+        &self.vcs[idx]
+    }
+
+    /// Mutable access to a VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn vc_mut(&mut self, idx: usize) -> &mut VirtualChannel {
+        &mut self.vcs[idx]
+    }
+
+    /// Iterates over the VCs.
+    pub fn vcs(&self) -> impl Iterator<Item = &VirtualChannel> {
+        self.vcs.iter()
+    }
+
+    /// Virtual Channel Occupancy: fraction of VCs currently occupied,
+    /// in `[0, 1]`. This is the instantaneous feature DL2Fence samples for
+    /// detection.
+    pub fn vco(&self) -> f32 {
+        let occupied = self.vcs.iter().filter(|v| v.is_occupied()).count();
+        occupied as f32 / self.vcs.len() as f32
+    }
+
+    /// Total flits buffered across all VCs of this port.
+    pub fn buffered_flits(&self) -> usize {
+        self.vcs.iter().map(|v| v.occupancy()).sum()
+    }
+
+    /// Finds a free VC (not currently allocated to a packet), if any.
+    pub fn free_vc(&self) -> Option<usize> {
+        self.vcs.iter().position(|v| !v.allocated && v.is_empty())
+    }
+
+    /// The cumulative Buffer Operation Count (reads + writes) since the last
+    /// reset. This is the accumulated feature DL2Fence samples for
+    /// localization.
+    pub fn boc(&self) -> u64 {
+        self.boc
+    }
+
+    /// Records `n` buffer operations.
+    pub fn record_buffer_ops(&mut self, n: u64) {
+        self.boc += n;
+    }
+
+    /// Resets the BOC counter (called after each sampling window).
+    pub fn reset_boc(&mut self) {
+        self.boc = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketId, TrafficClass};
+    use crate::topology::NodeId;
+
+    fn flit(seq: usize) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Body,
+            sequence: seq,
+            src: NodeId(0),
+            dst: NodeId(1),
+            created_at: 0,
+            injected_at: 0,
+            class: TrafficClass::Benign,
+        }
+    }
+
+    #[test]
+    fn vc_fifo_order_preserved() {
+        let mut vc = VirtualChannel::new(4);
+        vc.push(flit(0), 0);
+        vc.push(flit(1), 0);
+        vc.push(flit(2), 1);
+        assert_eq!(vc.pop().unwrap().flit.sequence, 0);
+        assert_eq!(vc.pop().unwrap().flit.sequence, 1);
+        assert_eq!(vc.pop().unwrap().flit.sequence, 2);
+        assert!(vc.pop().is_none());
+    }
+
+    #[test]
+    fn vc_full_and_empty_flags() {
+        let mut vc = VirtualChannel::new(2);
+        assert!(vc.is_empty());
+        assert!(!vc.is_full());
+        vc.push(flit(0), 0);
+        vc.push(flit(1), 0);
+        assert!(vc.is_full());
+        assert!(!vc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "credit violation")]
+    fn overfilling_vc_panics() {
+        let mut vc = VirtualChannel::new(1);
+        vc.push(flit(0), 0);
+        vc.push(flit(1), 0);
+    }
+
+    #[test]
+    fn occupied_tracks_allocation_and_buffer() {
+        let mut vc = VirtualChannel::new(2);
+        assert!(!vc.is_occupied());
+        vc.allocated = true;
+        assert!(vc.is_occupied());
+        vc.release();
+        assert!(!vc.is_occupied());
+        vc.push(flit(0), 0);
+        assert!(vc.is_occupied());
+    }
+
+    #[test]
+    fn port_vco_reflects_occupied_fraction() {
+        let mut port = InputPort::new(Direction::East, 4, 2);
+        assert_eq!(port.vco(), 0.0);
+        port.vc_mut(0).allocated = true;
+        port.vc_mut(1).push(flit(0), 0);
+        assert!((port.vco() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn port_free_vc_skips_allocated() {
+        let mut port = InputPort::new(Direction::North, 2, 2);
+        port.vc_mut(0).allocated = true;
+        assert_eq!(port.free_vc(), Some(1));
+        port.vc_mut(1).allocated = true;
+        assert_eq!(port.free_vc(), None);
+    }
+
+    #[test]
+    fn boc_accumulates_and_resets() {
+        let mut port = InputPort::new(Direction::West, 2, 2);
+        port.record_buffer_ops(3);
+        port.record_buffer_ops(2);
+        assert_eq!(port.boc(), 5);
+        port.reset_boc();
+        assert_eq!(port.boc(), 0);
+    }
+
+    #[test]
+    fn buffered_flits_counts_across_vcs() {
+        let mut port = InputPort::new(Direction::South, 2, 4);
+        port.vc_mut(0).push(flit(0), 0);
+        port.vc_mut(1).push(flit(1), 0);
+        port.vc_mut(1).push(flit(2), 0);
+        assert_eq!(port.buffered_flits(), 3);
+    }
+}

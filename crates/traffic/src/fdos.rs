@@ -1,0 +1,230 @@
+//! The refined flooding DoS (FDoS) model with an adjustable Flooding
+//! Injection Rate.
+//!
+//! This is the paper's first contribution: a flooding attack that
+//!
+//! * is launched by one or more **malicious nodes** against a single **target
+//!   victim**,
+//! * injects protocol-legal packets that follow the default XY routing (no
+//!   compromised routers, balanced credits),
+//! * *overlays* normal workload traffic — benign communication continues,
+//!   merely slowed down, and
+//! * exposes a single tuning knob, the **Flooding Injection Rate (FIR)**: the
+//!   probability per cycle that each attacker injects one flooding packet.
+//!   `FIR = 0` disables the attack; `FIR = 1` saturates the victim's row and
+//!   crashes the system; intermediate values trade stealth for impact.
+
+use crate::generator::TrafficGenerator;
+use noc_sim::flit::TrafficClass;
+use noc_sim::routing::route_path;
+use noc_sim::{Mesh, Network, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flooding DoS attack configuration: attacker nodes, a victim and the FIR.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{Mesh, NodeId};
+/// use noc_traffic::FloodingAttack;
+///
+/// let attack = FloodingAttack::new(vec![NodeId(104)], NodeId(0), 0.8);
+/// let rpv = attack.routing_path_victims(&Mesh::new(16, 16));
+/// assert!(rpv.contains(&NodeId(96)));   // the corner hop of the XY route
+/// assert!(rpv.contains(&NodeId(0)));    // the target victim
+/// assert!(!rpv.contains(&NodeId(104))); // the attacker itself is not a victim
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloodingAttack {
+    attackers: Vec<NodeId>,
+    victim: NodeId,
+    fir: f64,
+    seed: u64,
+    #[serde(skip)]
+    rng: Option<ChaCha8Rng>,
+}
+
+impl FloodingAttack {
+    /// Creates an attack by `attackers` against `victim` at flooding
+    /// injection rate `fir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fir` is outside `[0, 1]`, `attackers` is empty, or the
+    /// victim is listed as an attacker.
+    pub fn new(attackers: Vec<NodeId>, victim: NodeId, fir: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fir), "FIR must be in [0, 1], got {fir}");
+        assert!(!attackers.is_empty(), "at least one attacker is required");
+        assert!(
+            !attackers.contains(&victim),
+            "the victim cannot also be an attacker"
+        );
+        FloodingAttack {
+            attackers,
+            victim,
+            fir,
+            seed: 0xD05,
+            rng: None,
+        }
+    }
+
+    /// Overrides the RNG seed used for the Bernoulli injection decisions.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng = None;
+        self
+    }
+
+    /// The malicious nodes.
+    pub fn attackers(&self) -> &[NodeId] {
+        &self.attackers
+    }
+
+    /// The target victim node.
+    pub fn victim(&self) -> NodeId {
+        self.victim
+    }
+
+    /// The flooding injection rate in `[0, 1]`.
+    pub fn fir(&self) -> f64 {
+        self.fir
+    }
+
+    /// The ground-truth set of victims: the target victim plus every
+    /// routing-path victim (RPV) on the XY route of each attacker, excluding
+    /// the attackers themselves.
+    pub fn routing_path_victims(&self, mesh: &Mesh) -> Vec<NodeId> {
+        let mut victims: Vec<NodeId> = Vec::new();
+        for &a in &self.attackers {
+            for node in route_path(a, self.victim, mesh) {
+                if !self.attackers.contains(&node) && !victims.contains(&node) {
+                    victims.push(node);
+                }
+            }
+        }
+        victims.sort();
+        victims
+    }
+
+    fn rng(&mut self) -> &mut ChaCha8Rng {
+        if self.rng.is_none() {
+            self.rng = Some(ChaCha8Rng::seed_from_u64(self.seed));
+        }
+        self.rng.as_mut().expect("just initialised")
+    }
+}
+
+impl TrafficGenerator for FloodingAttack {
+    fn inject(&mut self, network: &mut Network, cycle: u64) {
+        let victim = self.victim;
+        let fir = self.fir;
+        let attackers = self.attackers.clone();
+        for attacker in attackers {
+            let fire = fir >= 1.0 || self.rng().gen_bool(fir);
+            if fire {
+                network.enqueue_with_class(attacker, victim, cycle, TrafficClass::Malicious);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "FDoS {} attacker(s) -> {} @ FIR {:.2}",
+            self.attackers.len(),
+            self.victim,
+            self.fir
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NocConfig;
+
+    #[test]
+    fn fir_zero_injects_nothing() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        let mut attack = FloodingAttack::new(vec![NodeId(15)], NodeId(0), 0.0);
+        for c in 0..500 {
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        assert_eq!(net.stats().packets_created, 0);
+    }
+
+    #[test]
+    fn fir_one_injects_every_cycle() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        let mut attack = FloodingAttack::new(vec![NodeId(15)], NodeId(0), 1.0);
+        for c in 0..100 {
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        assert_eq!(net.stats().packets_created, 100);
+    }
+
+    #[test]
+    fn higher_fir_floods_more() {
+        let run = |fir| {
+            let mut net = Network::new(NocConfig::mesh(8, 8));
+            let mut attack = FloodingAttack::new(vec![NodeId(63)], NodeId(0), fir).with_seed(1);
+            for c in 0..2_000 {
+                attack.inject(&mut net, c);
+                net.step();
+            }
+            net.stats().packets_created
+        };
+        let low = run(0.1);
+        let high = run(0.8);
+        assert!(high > 3 * low, "FIR 0.8 ({high}) should flood far more than 0.1 ({low})");
+    }
+
+    #[test]
+    fn rpv_excludes_attacker_and_includes_victim() {
+        let mesh = Mesh::new(4, 4);
+        let attack = FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.5);
+        let rpv = attack.routing_path_victims(&mesh);
+        assert_eq!(rpv, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn rpv_merges_multiple_attackers() {
+        let mesh = Mesh::new(4, 4);
+        // Attackers at opposite row ends of victim 5.
+        let attack = FloodingAttack::new(vec![NodeId(7), NodeId(4)], NodeId(5), 0.5);
+        let rpv = attack.routing_path_victims(&mesh);
+        assert!(rpv.contains(&NodeId(5)));
+        assert!(rpv.contains(&NodeId(6)));
+        assert!(!rpv.contains(&NodeId(7)));
+        assert!(!rpv.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn malicious_packets_reach_the_victim() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        let mut attack = FloodingAttack::new(vec![NodeId(12)], NodeId(3), 0.5).with_seed(2);
+        for c in 0..1_000 {
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        net.run(500);
+        assert!(net.stats().malicious_packets_received > 100);
+        assert!(net.stats().received_per_node[3] > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIR")]
+    fn invalid_fir_panics() {
+        FloodingAttack::new(vec![NodeId(1)], NodeId(0), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "victim cannot also be an attacker")]
+    fn victim_as_attacker_panics() {
+        FloodingAttack::new(vec![NodeId(0)], NodeId(0), 0.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! # noc-traffic — workload and attack models for the DL2Fence reproduction
+//!
+//! This crate provides everything that *injects packets* into the
+//! [`noc_sim`] substrate:
+//!
+//! * the six **synthetic traffic patterns** (STP) used in the paper's
+//!   evaluation — uniform random, tornado, shuffle, neighbor, bit rotation
+//!   and bit complement ([`SyntheticPattern`]),
+//! * **PARSEC-like workload models** ([`ParsecWorkload`]) — phase-structured
+//!   generators that reproduce the low-communication-density,
+//!   computation-heavy Region-of-Interest behaviour of blackscholes,
+//!   bodytrack and x264 (a documented substitution for gem5 full-system
+//!   traces),
+//! * the **refined flooding DoS model** ([`FloodingAttack`]) with a finely
+//!   adjustable Flooding Injection Rate (FIR) that overlays protocol-legal
+//!   malicious packets on top of benign traffic, and
+//! * [`AttackScenario`], which combines a benign workload with zero or more
+//!   attackers and drives a simulation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use noc_sim::{NocConfig, NodeId};
+//! use noc_traffic::{AttackScenario, FloodingAttack, SyntheticPattern};
+//!
+//! let mut scenario = AttackScenario::builder(NocConfig::mesh(8, 8))
+//!     .benign(SyntheticPattern::UniformRandom, 0.02)
+//!     .attack(FloodingAttack::new(vec![NodeId(63)], NodeId(0), 0.8))
+//!     .seed(7)
+//!     .build();
+//! scenario.run(1_000);
+//! assert!(scenario.network().stats().malicious_packets_received > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fdos;
+pub mod generator;
+pub mod parsec;
+pub mod pattern;
+pub mod payload;
+pub mod scenario;
+
+pub use fdos::FloodingAttack;
+pub use payload::PayloadFloodingAttack;
+pub use generator::{BernoulliInjector, TrafficGenerator};
+pub use parsec::{ParsecPhase, ParsecWorkload};
+pub use pattern::SyntheticPattern;
+pub use scenario::{AttackScenario, AttackScenarioBuilder, BenignWorkload};

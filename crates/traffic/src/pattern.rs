@@ -1,0 +1,185 @@
+//! The six synthetic traffic patterns of the paper's evaluation.
+//!
+//! Destination functions follow the standard definitions (Dally & Towles,
+//! *Principles and Practices of Interconnection Networks*), the same ones
+//! gem5's Garnet synthetic traffic driver implements.
+
+use noc_sim::{Coord, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A synthetic traffic pattern (STP) benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticPattern {
+    /// Every packet picks a uniformly random destination.
+    UniformRandom,
+    /// `(x, y) → (cols−1−x, rows−1−y)` shifted by half the mesh: each node
+    /// sends to the node half-way across its row (classic k-ary tornado).
+    Tornado,
+    /// Bit shuffle of the node id: rotate the id's bits left by one.
+    Shuffle,
+    /// Each node sends to its East neighbour (wrapping at the row end).
+    Neighbor,
+    /// Bit rotation of the node id: rotate the id's bits right by one.
+    BitRotation,
+    /// Bit complement of the node id.
+    BitComplement,
+}
+
+impl SyntheticPattern {
+    /// All six patterns in the order the paper's tables list them.
+    pub const ALL: [SyntheticPattern; 6] = [
+        SyntheticPattern::UniformRandom,
+        SyntheticPattern::Tornado,
+        SyntheticPattern::Shuffle,
+        SyntheticPattern::Neighbor,
+        SyntheticPattern::BitRotation,
+        SyntheticPattern::BitComplement,
+    ];
+
+    /// The human-readable benchmark name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyntheticPattern::UniformRandom => "Uniform Random",
+            SyntheticPattern::Tornado => "Tornado",
+            SyntheticPattern::Shuffle => "Shuffle",
+            SyntheticPattern::Neighbor => "Neighbor",
+            SyntheticPattern::BitRotation => "Bit Rotation",
+            SyntheticPattern::BitComplement => "Bit Complement",
+        }
+    }
+
+    /// Whether this pattern needs a random source (only
+    /// [`SyntheticPattern::UniformRandom`] does); all others are
+    /// deterministic functions of the source id.
+    pub fn is_random(&self) -> bool {
+        matches!(self, SyntheticPattern::UniformRandom)
+    }
+
+    /// The destination node for a packet originating at `src` on a
+    /// `rows × cols` mesh. For [`SyntheticPattern::UniformRandom`] the
+    /// caller supplies `random` (a value in `[0, node_count)`) drawn from its
+    /// own RNG; deterministic patterns ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is outside the mesh.
+    pub fn destination(&self, src: NodeId, rows: usize, cols: usize, random: usize) -> NodeId {
+        let n = rows * cols;
+        assert!(src.0 < n, "source {src} outside {rows}x{cols} mesh");
+        let bits = usize::BITS - (n - 1).leading_zeros();
+        let mask = (1usize << bits) - 1;
+        let dst = match self {
+            SyntheticPattern::UniformRandom => random % n,
+            SyntheticPattern::Tornado => {
+                let c = Coord::from_id(src, cols);
+                let dx = (c.x + (cols / 2).max(1) - 1) % cols;
+                Coord::new(dx, c.y).to_id(cols).0
+            }
+            SyntheticPattern::Neighbor => {
+                let c = Coord::from_id(src, cols);
+                Coord::new((c.x + 1) % cols, c.y).to_id(cols).0
+            }
+            SyntheticPattern::Shuffle => {
+                // Rotate left by one within the id bit-width.
+                let v = src.0;
+                ((v << 1) | (v >> (bits - 1))) & mask
+            }
+            SyntheticPattern::BitRotation => {
+                // Rotate right by one within the id bit-width.
+                let v = src.0;
+                ((v >> 1) | ((v & 1) << (bits - 1))) & mask
+            }
+            SyntheticPattern::BitComplement => (!src.0) & mask,
+        };
+        // Clamp to the mesh for non-power-of-two node counts.
+        NodeId(dst % n)
+    }
+}
+
+impl fmt::Display for SyntheticPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_patterns_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            SyntheticPattern::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn bit_complement_on_16x16() {
+        // 256 nodes => 8 bits; complement of 0 is 255.
+        let d = SyntheticPattern::BitComplement.destination(NodeId(0), 16, 16, 0);
+        assert_eq!(d, NodeId(255));
+        let d = SyntheticPattern::BitComplement.destination(NodeId(255), 16, 16, 0);
+        assert_eq!(d, NodeId(0));
+    }
+
+    #[test]
+    fn neighbor_wraps_at_row_end() {
+        let d = SyntheticPattern::Neighbor.destination(NodeId(3), 4, 4, 0);
+        assert_eq!(d, NodeId(0)); // node 3 is the row-0 east edge, wraps to 0
+        let d = SyntheticPattern::Neighbor.destination(NodeId(0), 4, 4, 0);
+        assert_eq!(d, NodeId(1));
+    }
+
+    #[test]
+    fn tornado_moves_half_the_row() {
+        // 8 columns: node 0 sends 3 columns east (k/2 - 1).
+        let d = SyntheticPattern::Tornado.destination(NodeId(0), 8, 8, 0);
+        assert_eq!(d, NodeId(3));
+    }
+
+    #[test]
+    fn shuffle_and_rotation_are_inverses() {
+        for id in 0..64usize {
+            let s = SyntheticPattern::Shuffle.destination(NodeId(id), 8, 8, 0);
+            let back = SyntheticPattern::BitRotation.destination(s, 8, 8, 0);
+            assert_eq!(back, NodeId(id));
+        }
+    }
+
+    #[test]
+    fn uniform_random_uses_supplied_value() {
+        let d = SyntheticPattern::UniformRandom.destination(NodeId(0), 4, 4, 11);
+        assert_eq!(d, NodeId(11));
+        let d = SyntheticPattern::UniformRandom.destination(NodeId(0), 4, 4, 17);
+        assert_eq!(d, NodeId(1)); // 17 % 16
+    }
+
+    proptest! {
+        #[test]
+        fn destinations_always_inside_mesh(
+            src in 0usize..256,
+            random in 0usize..10_000,
+            pattern_idx in 0usize..6
+        ) {
+            let p = SyntheticPattern::ALL[pattern_idx];
+            let d = p.destination(NodeId(src), 16, 16, random);
+            prop_assert!(d.0 < 256);
+        }
+
+        #[test]
+        fn deterministic_patterns_ignore_random(
+            src in 0usize..64,
+            r1 in 0usize..1000,
+            r2 in 0usize..1000,
+            pattern_idx in 1usize..6
+        ) {
+            let p = SyntheticPattern::ALL[pattern_idx];
+            prop_assert_eq!(
+                p.destination(NodeId(src), 8, 8, r1),
+                p.destination(NodeId(src), 8, 8, r2)
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The payload-extension flavour of flooding DoS.
+//!
+//! The paper's related work (Chaves et al.) identifies two FDoS
+//! implementations: raising the packet injection rate (the main model,
+//! [`crate::FloodingAttack`]) and *extending the packet payload length* so
+//! every malicious packet occupies buffers and links for more cycles. This
+//! module implements the second flavour as an extension, so the framework
+//! can be exercised against both.
+
+use crate::generator::TrafficGenerator;
+use noc_sim::flit::TrafficClass;
+use noc_sim::{Network, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flooding attack that sends over-long packets at a (possibly modest)
+/// injection rate.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::NodeId;
+/// use noc_traffic::payload::PayloadFloodingAttack;
+///
+/// let attack = PayloadFloodingAttack::new(vec![NodeId(15)], NodeId(0), 0.3, 20);
+/// assert_eq!(attack.payload_flits(), 20);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PayloadFloodingAttack {
+    attackers: Vec<NodeId>,
+    victim: NodeId,
+    rate: f64,
+    payload_flits: usize,
+    seed: u64,
+    #[serde(skip)]
+    rng: Option<ChaCha8Rng>,
+}
+
+impl PayloadFloodingAttack {
+    /// Creates a payload-extension attack: each attacker injects a
+    /// `payload_flits`-flit packet towards `victim` with probability `rate`
+    /// per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`, `payload_flits` is zero,
+    /// `attackers` is empty, or the victim is listed as an attacker.
+    pub fn new(attackers: Vec<NodeId>, victim: NodeId, rate: f64, payload_flits: usize) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(payload_flits > 0, "payload must contain at least one flit");
+        assert!(!attackers.is_empty(), "at least one attacker is required");
+        assert!(
+            !attackers.contains(&victim),
+            "the victim cannot also be an attacker"
+        );
+        PayloadFloodingAttack {
+            attackers,
+            victim,
+            rate,
+            payload_flits,
+            seed: 0xFA7,
+            rng: None,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng = None;
+        self
+    }
+
+    /// The malicious nodes.
+    pub fn attackers(&self) -> &[NodeId] {
+        &self.attackers
+    }
+
+    /// The target victim.
+    pub fn victim(&self) -> NodeId {
+        self.victim
+    }
+
+    /// The per-attacker per-cycle injection probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The length of each malicious packet in flits.
+    pub fn payload_flits(&self) -> usize {
+        self.payload_flits
+    }
+
+    fn rng(&mut self) -> &mut ChaCha8Rng {
+        if self.rng.is_none() {
+            self.rng = Some(ChaCha8Rng::seed_from_u64(self.seed));
+        }
+        self.rng.as_mut().expect("just initialised")
+    }
+}
+
+impl TrafficGenerator for PayloadFloodingAttack {
+    fn inject(&mut self, network: &mut Network, cycle: u64) {
+        let victim = self.victim;
+        let rate = self.rate;
+        let payload = self.payload_flits;
+        let attackers = self.attackers.clone();
+        for attacker in attackers {
+            let fire = rate >= 1.0 || self.rng().gen_bool(rate);
+            if fire {
+                network.enqueue_with_length(
+                    attacker,
+                    victim,
+                    cycle,
+                    TrafficClass::Malicious,
+                    payload,
+                );
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Payload FDoS {} attacker(s) -> {} @ rate {:.2}, {} flits/packet",
+            self.attackers.len(),
+            self.victim,
+            self.rate,
+            self.payload_flits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NocConfig;
+
+    fn run_with_payload(payload: usize, cycles: u64) -> f64 {
+        let mut net = Network::new(NocConfig::mesh(8, 8));
+        let mut attack =
+            PayloadFloodingAttack::new(vec![NodeId(7)], NodeId(0), 0.3, payload).with_seed(4);
+        // A light benign stream shares the victim's row.
+        for c in 0..cycles {
+            if c % 20 == 0 {
+                net.enqueue_packet(NodeId(5), NodeId(1), c);
+            }
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        net.stats().packet_latency.mean()
+    }
+
+    #[test]
+    fn longer_payloads_increase_latency() {
+        let short = run_with_payload(2, 3_000);
+        let long = run_with_payload(24, 3_000);
+        assert!(
+            long > short,
+            "24-flit payload latency {long} should exceed 2-flit latency {short}"
+        );
+    }
+
+    #[test]
+    fn malicious_flit_volume_scales_with_payload() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        let mut attack = PayloadFloodingAttack::new(vec![NodeId(3)], NodeId(0), 1.0, 9);
+        for c in 0..50 {
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        net.run(3_000);
+        let stats = net.stats();
+        assert_eq!(stats.flits_injected % 9, 0);
+        assert!(stats.malicious_packets_received > 0);
+    }
+
+    #[test]
+    fn generator_name_mentions_payload() {
+        let attack = PayloadFloodingAttack::new(vec![NodeId(1)], NodeId(0), 0.5, 12);
+        assert!(attack.name().contains("12 flits"));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn zero_payload_panics() {
+        PayloadFloodingAttack::new(vec![NodeId(1)], NodeId(0), 0.5, 0);
+    }
+}

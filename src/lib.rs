@@ -1,0 +1,53 @@
+//! Workspace-root helper crate for the DL2Fence reproduction.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories (the runnable demos and the cross-crate integration tests)
+//! have a package to live in. It re-exports the public crates of the
+//! workspace and provides a couple of small conveniences shared by the
+//! examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dl2fence;
+pub use hw_overhead;
+pub use noc_monitor;
+pub use noc_sim;
+pub use noc_traffic;
+pub use tinycnn;
+
+use noc_monitor::dataset::specs_for_benchmark;
+use noc_monitor::{CollectionConfig, DatasetGenerator, LabeledSample};
+use noc_sim::NocConfig;
+use noc_traffic::{BenignWorkload, SyntheticPattern};
+
+/// Collects a small labeled dataset on an `mesh × mesh` NoC with a uniform
+/// random benign workload — the shared starting point of several examples.
+///
+/// `attacks` attack placements and `benign_runs` attack-free runs are
+/// simulated at FIR 0.8 with short sampling windows, so this finishes in a
+/// few seconds even in debug builds.
+pub fn quick_dataset(mesh: usize, attacks: usize, benign_runs: usize) -> Vec<LabeledSample> {
+    let generator = DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
+    let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02);
+    generator.collect(&specs_for_benchmark(
+        workload,
+        mesh,
+        mesh,
+        attacks,
+        benign_runs,
+        0.8,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_dataset_contains_both_classes() {
+        let samples = quick_dataset(8, 2, 1);
+        assert!(samples.iter().any(|s| s.truth.under_attack));
+        assert!(samples.iter().any(|s| !s.truth.under_attack));
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration test: simulate, collect, train, detect, localize.
+
+use dl2fence::evaluation::evaluate;
+use dl2fence::{Dl2Fence, FenceConfig};
+use dl2fence_repro::quick_dataset;
+use noc_monitor::dataset::{CollectionConfig, DatasetGenerator, ScenarioSpec};
+use noc_monitor::FeatureKind;
+use noc_sim::{NocConfig, NodeId};
+use noc_traffic::{BenignWorkload, SyntheticPattern};
+
+/// Full loop: train on one set of attack placements, evaluate on *different*
+/// placements, and require better-than-chance detection plus non-trivial
+/// localization overlap.
+#[test]
+fn trained_fence_generalizes_to_unseen_attack_placements() {
+    let mesh = 8;
+    // A reasonably rich training set (the paper uses 18 placements per
+    // benchmark): enough placement diversity for the detector's dense layer
+    // to generalize to routes it has not seen.
+    let train = quick_dataset(mesh, 14, 7);
+    let mut fence = Dl2Fence::new(
+        FenceConfig::new(mesh, mesh)
+            .with_epochs(60, 40)
+            .with_seed(77),
+    );
+    fence.train(&train);
+
+    // Unseen placements.
+    let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02);
+    let generator = DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
+    let test_specs = vec![
+        ScenarioSpec::attacked(workload, vec![NodeId(61)], NodeId(5), 0.8),
+        ScenarioSpec::attacked(workload, vec![NodeId(8)], NodeId(15), 0.8),
+        ScenarioSpec::benign(workload),
+        ScenarioSpec::benign(workload),
+    ];
+    let test: Vec<_> = test_specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| generator.collect_run(s, 9_000 + i as u64))
+        .collect();
+
+    let report = evaluate(&mut fence, &test);
+    let detection = report.overall_detection();
+    assert!(
+        detection.accuracy() > 0.6,
+        "detection accuracy too low: {}",
+        detection.accuracy()
+    );
+    let localization = report.overall_localization();
+    assert!(
+        localization.accuracy() > 0.7,
+        "localization accuracy too low: {}",
+        localization.accuracy()
+    );
+}
+
+/// The chosen feature split (VCO detection, BOC localization) must not be
+/// worse for localization than using VCO for both tasks — the core claim of
+/// Tables 1–3.
+#[test]
+fn boc_localization_is_at_least_as_good_as_vco_localization() {
+    let mesh = 8;
+    let train = quick_dataset(mesh, 6, 3);
+    let test = {
+        let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02);
+        let generator =
+            DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
+        let specs = vec![
+            ScenarioSpec::attacked(workload, vec![NodeId(62)], NodeId(1), 0.8),
+            ScenarioSpec::attacked(workload, vec![NodeId(16)], NodeId(23), 0.8),
+        ];
+        specs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| generator.collect_run(s, 5_000 + i as u64))
+            .collect::<Vec<_>>()
+    };
+
+    let run = |localization_feature| {
+        let mut config = FenceConfig::new(mesh, mesh).with_epochs(30, 40).with_seed(3);
+        config.detection_feature = FeatureKind::Vco;
+        config.localization_feature = localization_feature;
+        let mut fence = Dl2Fence::new(config);
+        fence.train(&train);
+        evaluate(&mut fence, &test).overall_localization().f1()
+    };
+
+    let vco_f1 = run(FeatureKind::Vco);
+    let boc_f1 = run(FeatureKind::Boc);
+    assert!(
+        boc_f1 + 0.05 >= vco_f1,
+        "BOC localization ({boc_f1:.3}) should not be clearly worse than VCO ({vco_f1:.3})"
+    );
+}
+
+/// Benign-only operation: a fence trained normally must not flood the report
+/// with victims when analysing attack-free windows.
+#[test]
+fn benign_windows_do_not_produce_mass_false_localization() {
+    let mesh = 8;
+    let train = quick_dataset(mesh, 5, 5);
+    let mut fence = Dl2Fence::new(FenceConfig::new(mesh, mesh).with_epochs(40, 30).with_seed(21));
+    fence.train(&train);
+
+    let workload = BenignWorkload::Synthetic(SyntheticPattern::Tornado, 0.02);
+    let generator = DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
+    let benign = generator.collect_run(&ScenarioSpec::benign(workload), 1234);
+    let mut false_victims = 0usize;
+    for sample in &benign {
+        let report = fence.analyze(sample);
+        false_victims += report.victims.len();
+    }
+    // Allow a few spurious pixels but not a large fraction of the mesh.
+    assert!(
+        false_victims < benign.len() * mesh * mesh / 4,
+        "too many false victims on benign traffic: {false_victims}"
+    );
+}

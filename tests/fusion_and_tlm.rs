@@ -1,0 +1,122 @@
+//! Integration of the simulator, monitor and the post-processing stages
+//! (MFF + VCE + TLM) *without* the CNNs: an oracle segmentation built by
+//! thresholding real BOC frames must let the fusion/TLM chain recover the
+//! attacker exactly. This isolates the geometric reasoning of the framework
+//! from model quality.
+
+use dl2fence::{MultiFrameFusion, TableLikeMethod, VictimComplementingEnhancement};
+use noc_monitor::{FeatureKind, FrameSampler};
+use noc_sim::{Direction, NocConfig, NodeId};
+use noc_traffic::{AttackScenario, FloodingAttack, SyntheticPattern};
+
+/// Threshold-based oracle segmentation of the four BOC frames, relative to
+/// the bundle maximum.
+fn oracle_segmentation(
+    frames: &noc_monitor::DirectionalFrames,
+    relative_threshold: f32,
+) -> [Vec<f32>; 4] {
+    let max = frames.max_value().max(1.0);
+    let mut out: [Vec<f32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for dir in Direction::CARDINAL {
+        out[dir.index()] = frames
+            .frame(dir)
+            .data()
+            .iter()
+            .map(|&v| if v / max > relative_threshold { 1.0 } else { 0.0 })
+            .collect();
+    }
+    out
+}
+
+fn run_case(mesh: usize, attackers: Vec<NodeId>, victim: NodeId) -> (Vec<NodeId>, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+    let mut scenario = AttackScenario::builder(NocConfig::mesh(mesh, mesh))
+        .benign(SyntheticPattern::UniformRandom, 0.005)
+        .attack(FloodingAttack::new(attackers.clone(), victim, 0.9))
+        .seed(42)
+        .build();
+    scenario.run(3_000);
+    let boc = FrameSampler::sample(scenario.network(), FeatureKind::Boc);
+    let segs = oracle_segmentation(&boc, 0.35);
+    let fusion = MultiFrameFusion::for_mesh(mesh, mesh).fuse(&segs, mesh, mesh);
+    let vce = VictimComplementingEnhancement::new(mesh, mesh);
+    let victims = vce.complete(&fusion);
+    let found_attackers = TableLikeMethod::new(mesh, mesh).localize(&fusion, &victims);
+    (
+        victims,
+        found_attackers,
+        scenario.victim_nodes(),
+        scenario.attacker_nodes(),
+    )
+}
+
+#[test]
+fn oracle_pipeline_recovers_single_row_attacker() {
+    // Attacker at the east end of row 0 flooding the west end.
+    let (victims, attackers, truth_victims, truth_attackers) =
+        run_case(8, vec![NodeId(7)], NodeId(0));
+    assert_eq!(attackers, truth_attackers, "attacker must be pinpointed exactly");
+    // Every true routing-path victim must be recovered.
+    for v in &truth_victims {
+        assert!(victims.contains(v), "missing victim {v}");
+    }
+}
+
+#[test]
+fn oracle_pipeline_recovers_l_shaped_route_attacker() {
+    // Attacker in the far corner flooding node 0: an L-shaped XY route.
+    let (victims, attackers, truth_victims, truth_attackers) =
+        run_case(8, vec![NodeId(63)], NodeId(0));
+    assert_eq!(attackers, truth_attackers);
+    for v in &truth_victims {
+        assert!(victims.contains(v), "missing victim {v}");
+    }
+}
+
+#[test]
+fn oracle_pipeline_recovers_two_attackers_on_opposite_sides() {
+    // Two attackers flooding the same victim from opposite row ends.
+    let (victims, attackers, truth_victims, truth_attackers) =
+        run_case(8, vec![NodeId(7), NodeId(0)], NodeId(3));
+    assert_eq!(attackers, truth_attackers);
+    for v in &truth_victims {
+        assert!(victims.contains(v), "missing victim {v}");
+    }
+}
+
+#[test]
+fn oracle_pipeline_on_16x16_paper_example() {
+    // The paper's Figure 4 single-attacker example: attacker 104, victim 0.
+    let (victims, attackers, truth_victims, truth_attackers) =
+        run_case(16, vec![NodeId(104)], NodeId(0));
+    assert_eq!(attackers, truth_attackers);
+    let recovered = truth_victims
+        .iter()
+        .filter(|v| victims.contains(v))
+        .count();
+    assert!(
+        recovered as f64 / truth_victims.len() as f64 > 0.9,
+        "recovered only {recovered}/{} routing-path victims",
+        truth_victims.len()
+    );
+}
+
+#[test]
+fn benign_traffic_produces_no_attackers_via_oracle() {
+    let mesh = 8;
+    let mut scenario = AttackScenario::builder(NocConfig::mesh(mesh, mesh))
+        .benign(SyntheticPattern::UniformRandom, 0.01)
+        .seed(9)
+        .build();
+    scenario.run(3_000);
+    let boc = FrameSampler::sample(scenario.network(), FeatureKind::Boc);
+    // Uniform benign traffic has no single dominant route, so a high relative
+    // threshold flags few or no pixels.
+    let segs = oracle_segmentation(&boc, 0.8);
+    let fusion = MultiFrameFusion::for_mesh(mesh, mesh).fuse(&segs, mesh, mesh);
+    let tlm = TableLikeMethod::new(mesh, mesh);
+    let attackers = tlm.localize(&fusion, &fusion.victims);
+    assert!(
+        attackers.len() <= 2,
+        "benign traffic should not implicate many attackers: {attackers:?}"
+    );
+}

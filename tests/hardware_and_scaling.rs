@@ -1,0 +1,68 @@
+//! Integration tests of the hardware-overhead story (Figure 5 / Table 4)
+//! against the actual model sizes used by the framework.
+
+use dl2fence::{DosDetector, DosLocalizer};
+use hw_overhead::area::AcceleratorParams;
+use hw_overhead::comparison::{our_work_entry, related_works};
+use hw_overhead::{AreaModel, RouterParams};
+
+/// The analytical accelerator parameter counts must stay consistent with the
+/// actual CNN models the framework instantiates for a 16×16 mesh.
+#[test]
+fn accelerator_model_matches_real_parameter_counts() {
+    let detector = DosDetector::new(16, 16, 0);
+    let localizer = DosLocalizer::new(16, 16, 0);
+    let detector_params = AcceleratorParams::detector();
+    let localizer_params = AcceleratorParams::localizer();
+    assert_eq!(detector_params.weight_count, detector.parameter_count());
+    assert_eq!(localizer_params.weight_count, localizer.parameter_count());
+}
+
+/// The headline scaling claim, evaluated through the whole stack: the
+/// overhead at 16×16 is roughly a quarter of the overhead at 8×8 (the paper
+/// reports a 76.3 % reduction).
+#[test]
+fn overhead_reduction_from_8_to_16_is_about_three_quarters() {
+    let model = AreaModel::new(RouterParams::default());
+    let reduction = model.overhead_reduction(8, 16);
+    assert!(
+        (0.70..0.82).contains(&reduction),
+        "unexpected reduction: {:.1}%",
+        reduction * 100.0
+    );
+}
+
+/// Table 4's qualitative ranking: on a 16×16 NoC our global scheme costs
+/// less area than every distributed per-router scheme that reports a number.
+#[test]
+fn dl2fence_beats_distributed_schemes_on_large_meshes() {
+    let model = AreaModel::new(RouterParams::default());
+    let ours = our_work_entry(&model, 16, 0.95, 0.98, 0.91, 0.99);
+    for work in related_works() {
+        if let Some(overhead) = work.hardware_overhead {
+            assert!(
+                ours.hardware_overhead.unwrap() < overhead,
+                "{} ({overhead}) should cost more than DL2Fence",
+                work.work
+            );
+        }
+    }
+}
+
+/// Larger localizer variants (the depth ablation) cost more accelerator area.
+#[test]
+fn deeper_localizers_cost_more_area() {
+    let base = DosLocalizer::with_architecture(16, 16, 8, 2, 0);
+    let deep = DosLocalizer::with_architecture(16, 16, 8, 4, 0);
+    let base_area = AcceleratorParams {
+        weight_count: base.parameter_count(),
+        ..AcceleratorParams::localizer()
+    }
+    .gates();
+    let deep_area = AcceleratorParams {
+        weight_count: deep.parameter_count(),
+        ..AcceleratorParams::localizer()
+    }
+    .gates();
+    assert!(deep_area > base_area);
+}
