@@ -1,0 +1,50 @@
+//! Criterion benchmark of the campaign engine's parallel throughput: the
+//! same fixed 18-run campaign executed at 1, 2 and N worker threads, so the
+//! runs-per-second speedup can be tracked over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl2fence_campaign::{CampaignSpec, Executor};
+
+fn throughput_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::quick("bench-throughput");
+    spec.grid.mesh = vec![8];
+    spec.grid.fir = vec![0.4, 0.8];
+    spec.grid.workloads = vec!["uniform".into(), "tornado".into(), "blackscholes".into()];
+    spec.grid.attack_placements = 2;
+    spec.grid.benign_runs = 2;
+    spec.grid.seeds = vec![7];
+    spec.sim.warmup_cycles = 100;
+    spec.sim.sample_period = 300;
+    spec.sim.samples_per_run = 2;
+    spec
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let spec = throughput_spec();
+    let runs = dl2fence_campaign::expand(&spec)
+        .expect("bench spec expands")
+        .len();
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    let mut worker_counts = vec![1usize, 2];
+    if available > 2 {
+        worker_counts.push(available);
+    }
+    for workers in worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{runs}_runs"), format!("{workers}_workers")),
+            &workers,
+            |b, &workers| {
+                let executor = Executor::new(workers);
+                b.iter(|| executor.execute(&spec).expect("campaign executes"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

@@ -17,10 +17,7 @@ fn bench_fir_sweep(c: &mut Criterion) {
                 b.iter(|| {
                     let config = FirSweepConfig {
                         noc: NocConfig::mesh(8, 8),
-                        workload: BenignWorkload::Synthetic(
-                            SyntheticPattern::UniformRandom,
-                            0.02,
-                        ),
+                        workload: BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02),
                         attackers: vec![NodeId(63)],
                         victim: NodeId(0),
                         firs: vec![fir],

@@ -9,7 +9,10 @@ use noc_traffic::{AttackScenario, FloodingAttack, SyntheticPattern};
 
 fn sampled_frames(
     mesh: usize,
-) -> (noc_monitor::DirectionalFrames, noc_monitor::DirectionalFrames) {
+) -> (
+    noc_monitor::DirectionalFrames,
+    noc_monitor::DirectionalFrames,
+) {
     let mut scenario = AttackScenario::builder(NocConfig::mesh(mesh, mesh))
         .benign(SyntheticPattern::UniformRandom, 0.02)
         .attack(FloodingAttack::new(

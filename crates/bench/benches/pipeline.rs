@@ -22,11 +22,9 @@ fn bench_pipeline(c: &mut Criterion) {
             .build();
         scenario.run(1_000);
         let mut fence = Dl2Fence::new(FenceConfig::new(mesh, mesh).with_epochs(1, 1));
-        group.bench_with_input(
-            BenchmarkId::new("monitor_window", mesh),
-            &mesh,
-            |b, _| b.iter(|| fence.monitor(scenario.network())),
-        );
+        group.bench_with_input(BenchmarkId::new("monitor_window", mesh), &mesh, |b, _| {
+            b.iter(|| fence.monitor(scenario.network()))
+        });
     }
     group.finish();
 }

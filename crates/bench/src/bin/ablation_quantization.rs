@@ -20,7 +20,10 @@ fn main() {
     detector.train(&train, FeatureKind::Vco, scale.detector_epochs, scale.seed);
     let export = detector.export();
 
-    println!("{:>10} {:>10} {:>11} {:>8}", "precision", "accuracy", "precision", "recall");
+    println!(
+        "{:>10} {:>10} {:>11} {:>8}",
+        "precision", "accuracy", "precision", "recall"
+    );
     for bits in [4u32, 8, 12, 16, 32] {
         let mut quantized = if bits >= 32 {
             DosDetector::from_export(mesh, mesh, export.clone())

@@ -2,46 +2,82 @@
 //! latencies as the Flooding Injection Rate (FIR) rises from 0 to 1, with
 //! the saturation ("system crashed") point at FIR = 1.
 //!
+//! The eleven FIR points are independent simulations, so the sweep runs as a
+//! campaign on the `dl2fence-campaign` worker-pool executor — one run per
+//! point, all cores busy, deterministic output for any worker count.
+//!
 //! Run with `--full` for longer runs per FIR point.
 
 use dl2fence_bench::ExperimentScale;
-use noc_monitor::{sweep_fir, FirSweepConfig};
-use noc_sim::{NocConfig, NodeId};
+use dl2fence_campaign::{runs_from_scenarios, CampaignReport, Executor, SimParams};
+use noc_monitor::ScenarioSpec;
+use noc_sim::NodeId;
 use noc_traffic::{BenignWorkload, ParsecWorkload};
+use std::time::Instant;
 
 fn main() {
     let scale = ExperimentScale::from_env();
     let mesh = scale.parsec_mesh;
     let cycles = if scale.stp_mesh >= 16 { 20_000 } else { 5_000 };
-    let config = FirSweepConfig {
-        noc: NocConfig::mesh(mesh, mesh).with_injection_queue_capacity(512),
-        workload: BenignWorkload::Parsec(ParsecWorkload::Blackscholes),
-        attackers: vec![NodeId(mesh * mesh - 1)],
-        victim: NodeId(0),
-        firs: (0..=10).map(|i| i as f64 / 10.0).collect(),
-        cycles,
-        seed: 0xF1,
+    let workload = BenignWorkload::Parsec(ParsecWorkload::Blackscholes);
+    let attacker = NodeId(mesh * mesh - 1);
+    let victim = NodeId(0);
+
+    // One scenario per FIR point: the paper's corner-to-corner flooding
+    // attack overlaid on the PARSEC-like benign workload (FIR 0 = no attack).
+    let scenarios = (0..=10).map(|i| {
+        let fir = i as f64 / 10.0;
+        if fir == 0.0 {
+            ScenarioSpec::benign(workload)
+        } else {
+            ScenarioSpec::attacked(workload, vec![attacker], victim, fir)
+        }
+    });
+    let runs = runs_from_scenarios(0xF1, mesh, scenarios);
+    let sim = SimParams {
+        warmup_cycles: 0,
+        sample_period: cycles,
+        samples_per_run: 1,
+        collect_samples: false,
+        injection_queue_capacity: 512,
     };
+
+    let executor = Executor::with_available_parallelism();
     println!(
-        "Figure 1 — latency vs FIR ({}x{} mesh, PARSEC-like benign workload, {} cycles/point)",
-        mesh, mesh, cycles
+        "Figure 1 — latency vs FIR ({}x{} mesh, PARSEC-like benign workload, {} cycles/point, {} workers)",
+        mesh,
+        mesh,
+        cycles,
+        executor.workers()
     );
+    let started = Instant::now();
+    let results = executor.execute_runs(&sim, &runs);
+    let elapsed = started.elapsed();
+
     println!(
         "{:>5} {:>18} {:>15} {:>18} {:>13} {:>10}",
         "FIR", "pkt queue lat", "pkt latency", "flit queue lat", "flit latency", "crashed"
     );
-    for p in sweep_fir(&config) {
+    for r in &results {
         println!(
             "{:>5.1} {:>18.2} {:>15.2} {:>18.2} {:>13.2} {:>10}",
-            p.fir,
-            p.packet_queue_latency,
-            p.packet_latency,
-            p.flit_queue_latency,
-            p.flit_latency,
-            if p.saturated { "yes" } else { "no" }
+            r.spec.scenario.fir,
+            r.metrics.packet_queue_latency,
+            r.metrics.packet_latency,
+            r.metrics.flit_queue_latency,
+            r.metrics.flit_latency,
+            if r.metrics.saturated { "yes" } else { "no" }
         );
     }
-    println!();
+    let report = CampaignReport::from_runs("fig1_latency_vs_fir", vec!["fir".into()], &results)
+        .expect("fir is a valid grouping key");
+    println!(
+        "\n{} runs in {:.2}s ({:.1} runs/s); grouped report: {} groups",
+        report.total_runs,
+        elapsed.as_secs_f64(),
+        report.total_runs as f64 / elapsed.as_secs_f64().max(1e-9),
+        report.groups.len()
+    );
     println!(
         "Paper reference: latency rises monotonically with FIR (1.1x–60x over the\n\
          no-attack value between FIR 0.1 and 0.9) and the system crashes at FIR = 1."

@@ -38,7 +38,8 @@ fn render_map(victims: &[NodeId], attackers: &[NodeId], rows: usize, cols: usize
 fn main() {
     let scale = ExperimentScale::from_env();
     let mesh = scale.stp_mesh;
-    let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, scale.stp_injection_rate);
+    let workload =
+        BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, scale.stp_injection_rate);
 
     // The two example placements of Figure 4, scaled to the mesh in use.
     let (single, double) = if mesh >= 16 {
@@ -56,7 +57,9 @@ fn main() {
 
     // Train a fence on the standard STP dataset, with extra attack placements
     // so both straight and L-shaped routes in every direction are represented.
-    println!("Figure 4 — localization examples on a {mesh}x{mesh} mesh (training the models first)...");
+    println!(
+        "Figure 4 — localization examples on a {mesh}x{mesh} mesh (training the models first)..."
+    );
     let mut train_scale = scale.clone();
     train_scale.attacks_per_benchmark = train_scale.attacks_per_benchmark.max(12);
     train_scale.benign_runs = train_scale.benign_runs.max(4);
@@ -78,10 +81,7 @@ fn main() {
         seed: scale.seed + 99,
     };
     let generator = DatasetGenerator::new(collection);
-    for (label, (attackers, victim)) in [
-        ("Single attacker", single),
-        ("Two attackers", double),
-    ] {
+    for (label, (attackers, victim)) in [("Single attacker", single), ("Two attackers", double)] {
         let spec = ScenarioSpec::attacked(workload, attackers.clone(), victim, scale.fir);
         let samples = generator.collect_run(&spec, scale.seed + 7);
         let sample = &samples[0];
@@ -118,7 +118,10 @@ fn main() {
             loc.recall()
         );
         println!("  reconstructed map (A = localized attacker, V = localized victim):");
-        print!("{}", render_map(&report.victims, &report.attackers, mesh, mesh));
+        print!(
+            "{}",
+            render_map(&report.victims, &report.attackers, mesh, mesh)
+        );
     }
     println!();
     println!(

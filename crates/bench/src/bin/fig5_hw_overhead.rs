@@ -6,7 +6,10 @@ use hw_overhead::{AreaModel, RouterParams};
 fn main() {
     let model = AreaModel::new(RouterParams::default());
     println!("Figure 5 — hardware overhead vs NoC size (analytical area model)");
-    println!("{:>8} {:>16} {:>16} {:>12}", "NoC", "NoC gates", "DL2Fence gates", "overhead");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "NoC", "NoC gates", "DL2Fence gates", "overhead"
+    );
     for n in [4usize, 8, 16, 32] {
         println!(
             "{:>5}x{:<2} {:>16.0} {:>16.0} {:>11.2}%",

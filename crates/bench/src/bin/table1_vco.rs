@@ -2,6 +2,11 @@
 //! tasks use the Virtual Channel Occupancy (VCO) feature, across the six
 //! synthetic traffic patterns and the three PARSEC-like workloads.
 //!
+//! Each benchmark group runs as one declarative `dl2fence-campaign`: the
+//! simulate→sample grid executes on the worker-pool engine across every
+//! available core, and the campaign's eval phase trains and scores the
+//! models.
+//!
 //! Run with `--full` (or `DL2FENCE_FULL=1`) for the paper-scale 16×16 mesh.
 
 use dl2fence_bench::{print_table, run_table_experiment, ExperimentScale};

@@ -11,7 +11,8 @@ use hw_overhead::{AreaModel, RouterParams};
 use noc_monitor::FeatureKind;
 
 fn fmt_pct(v: Option<f64>) -> String {
-    v.map(|x| format!("{:.1}%", x * 100.0)).unwrap_or_else(|| "N/A".to_string())
+    v.map(|x| format!("{:.1}%", x * 100.0))
+        .unwrap_or_else(|| "N/A".to_string())
 }
 
 fn main() {

@@ -15,11 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dl2fence::evaluation::evaluate;
-use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
+use dl2fence::EvaluationReport;
+use dl2fence_campaign::{runs_from_scenarios, CampaignReport, CampaignSpec, Executor, SimParams};
 use noc_monitor::dataset::specs_for_benchmark;
-use noc_monitor::{CollectionConfig, DatasetGenerator, FeatureKind, LabeledSample};
-use noc_sim::NocConfig;
+use noc_monitor::{FeatureKind, LabeledSample};
 use noc_traffic::{BenignWorkload, ParsecWorkload, SyntheticPattern};
 
 pub use dl2fence::evaluation::BenchmarkMetrics;
@@ -101,7 +100,9 @@ impl ExperimentScale {
     /// (`--full` or `DL2FENCE_FULL=1`).
     pub fn from_env() -> Self {
         let full = std::env::args().any(|a| a == "--full")
-            || std::env::var("DL2FENCE_FULL").map(|v| v == "1").unwrap_or(false);
+            || std::env::var("DL2FENCE_FULL")
+                .map(|v| v == "1")
+                .unwrap_or(false);
         if full {
             Self::full()
         } else {
@@ -127,43 +128,60 @@ pub fn parsec_workloads() -> Vec<BenignWorkload> {
         .collect()
 }
 
+/// The campaign-engine simulation parameters of one experiment scale.
+pub fn sim_params(scale: &ExperimentScale) -> SimParams {
+    SimParams {
+        warmup_cycles: scale.warmup_cycles,
+        sample_period: scale.sample_period,
+        samples_per_run: scale.samples_per_run,
+        collect_samples: true,
+        injection_queue_capacity: 0,
+    }
+}
+
 /// Collects the labeled samples of one benchmark group (`workloads`) on a
 /// `mesh × mesh` NoC and splits them into train and test sets.
+///
+/// Collection runs on the `dl2fence-campaign` worker-pool executor, using
+/// every available core; the engine's deterministic per-run seed derivation
+/// makes the dataset independent of the worker count.
 pub fn collect_split(
     workloads: &[BenignWorkload],
     mesh: usize,
     scale: &ExperimentScale,
 ) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
-    let collection = CollectionConfig {
-        noc: NocConfig::mesh(mesh, mesh),
-        warmup_cycles: scale.warmup_cycles,
-        sample_period: scale.sample_period,
-        samples_per_run: scale.samples_per_run,
-        seed: scale.seed,
-    };
-    let generator = DatasetGenerator::new(collection);
-    let mut train = Vec::new();
-    let mut test = Vec::new();
-    for workload in workloads {
-        let specs = specs_for_benchmark(
+    let scenarios = workloads.iter().flat_map(|workload| {
+        specs_for_benchmark(
             *workload,
             mesh,
             mesh,
             scale.attacks_per_benchmark,
             scale.benign_runs,
             scale.fir,
-        );
-        let samples = generator.collect(&specs);
-        // Interleave into train/test deterministically so both classes and
-        // all attack placements appear on both sides.
-        let cut_stride = (1.0 / (1.0 - scale.train_fraction).max(0.05)).round() as usize;
-        for (i, s) in samples.into_iter().enumerate() {
-            if cut_stride > 1 && i % cut_stride == cut_stride - 1 {
-                test.push(s);
-            } else {
-                train.push(s);
-            }
+        )
+    });
+    let runs = runs_from_scenarios(scale.seed, mesh, scenarios);
+    let results = Executor::with_available_parallelism().execute_runs(&sim_params(scale), &runs);
+    // Group the samples per benchmark (moving, not cloning — the frame
+    // bundles dominate memory at paper scale), then apply the engine's
+    // shared deterministic train/test interleave per benchmark so both
+    // classes and all attack placements appear on both sides.
+    let mut by_workload: Vec<(String, Vec<LabeledSample>)> =
+        workloads.iter().map(|w| (w.name(), Vec::new())).collect();
+    for result in results {
+        if let Some((_, samples)) = by_workload
+            .iter_mut()
+            .find(|(name, _)| *name == result.spec.workload)
+        {
+            samples.extend(result.samples);
         }
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (_, samples) in by_workload {
+        let (tr, te) = dl2fence_campaign::report::split_samples(samples, scale.train_fraction);
+        train.extend(tr);
+        test.extend(te);
     }
     (train, test)
 }
@@ -206,8 +224,53 @@ pub fn run_table_experiment(
     TableResult { stp, parsec }
 }
 
+/// The spec-level name of a feature kind.
+pub fn feature_name(kind: FeatureKind) -> &'static str {
+    match kind {
+        FeatureKind::Vco => "vco",
+        FeatureKind::Boc => "boc",
+    }
+}
+
+/// Builds the declarative campaign spec of one table-experiment benchmark
+/// group: the full simulate→sample grid plus the train/evaluate phase.
+pub fn campaign_for_group(
+    workloads: &[BenignWorkload],
+    mesh: usize,
+    detection: FeatureKind,
+    localization: FeatureKind,
+    scale: &ExperimentScale,
+) -> CampaignSpec {
+    let mut spec = CampaignSpec::quick(format!(
+        "table-{}-{}",
+        feature_name(detection),
+        feature_name(localization)
+    ));
+    spec.sim = sim_params(scale);
+    spec.grid.mesh = vec![mesh];
+    spec.grid.fir = vec![scale.fir];
+    spec.grid.workloads = workloads.iter().map(|w| w.name()).collect();
+    spec.grid.attack_placements = scale.attacks_per_benchmark;
+    spec.grid.benign_runs = scale.benign_runs;
+    spec.grid.seeds = vec![scale.seed];
+    spec.grid.injection_rate = scale.stp_injection_rate;
+    spec.report.group_by = vec!["workload".to_string(), "class".to_string()];
+    spec.eval.enabled = true;
+    spec.eval.train_fraction = scale.train_fraction;
+    spec.eval.detector_epochs = scale.detector_epochs;
+    spec.eval.localizer_epochs = scale.localizer_epochs;
+    spec.eval.detection_feature = feature_name(detection).to_string();
+    spec.eval.localization_feature = feature_name(localization).to_string();
+    spec
+}
+
 /// Trains one DL2Fence instance on a benchmark group and evaluates it on the
 /// held-out test samples.
+///
+/// The whole experiment is one declarative campaign: the grid expands into
+/// the simulate→sample run matrix, the worker-pool executor runs it across
+/// every available core, and the campaign's eval phase trains and scores
+/// the models — identical results for any worker count.
 pub fn run_group(
     workloads: &[BenignWorkload],
     mesh: usize,
@@ -215,15 +278,17 @@ pub fn run_group(
     localization: FeatureKind,
     scale: &ExperimentScale,
 ) -> EvaluationReport {
-    let (train, test) = collect_split(workloads, mesh, scale);
-    let mut config = FenceConfig::new(mesh, mesh)
-        .with_seed(scale.seed)
-        .with_epochs(scale.detector_epochs, scale.localizer_epochs);
-    config.detection_feature = detection;
-    config.localization_feature = localization;
-    let mut fence = Dl2Fence::new(config);
-    fence.train(&train);
-    evaluate(&mut fence, &test)
+    let spec = campaign_for_group(workloads, mesh, detection, localization, scale);
+    let outcome = Executor::with_available_parallelism()
+        .execute(&spec)
+        .expect("generated table campaign must be valid");
+    let report = CampaignReport::build(&outcome).expect("eval phase must succeed");
+    report
+        .evaluations
+        .into_iter()
+        .next()
+        .expect("eval phase produced one entry per mesh")
+        .report
 }
 
 /// Prints a table experiment in the paper's layout.

@@ -1,0 +1,137 @@
+//! The `campaign` CLI: expand, run and inspect declarative scenario
+//! campaigns.
+//!
+//! ```text
+//! campaign expand <spec.toml|spec.json>
+//! campaign run    <spec.toml|spec.json> [--workers N] [--out report.json] [--quiet]
+//! campaign report <report.json>
+//! ```
+
+use dl2fence_campaign::{expand, CampaignReport, CampaignSpec, Executor};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage:
+  campaign expand <spec.toml|spec.json>
+      Print the expanded run matrix as JSON (one run per line).
+  campaign run <spec.toml|spec.json> [--workers N] [--out FILE] [--quiet]
+      Execute the campaign and print (or write) the aggregated JSON report.
+      --workers defaults to the machine's available parallelism.
+  campaign report <report.json>
+      Render a saved report as a human-readable table.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("expand") => cmd_expand(args.get(1).ok_or("expand needs a spec path")?),
+        Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(args.get(1).ok_or("report needs a report path")?),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("missing subcommand".to_string()),
+    }
+}
+
+fn load_spec(path: &str) -> Result<CampaignSpec, String> {
+    CampaignSpec::from_path(Path::new(path)).map_err(|e| e.to_string())
+}
+
+fn cmd_expand(path: &str) -> Result<(), String> {
+    let spec = load_spec(path)?;
+    let runs = expand(&spec).map_err(|e| e.to_string())?;
+    for run in &runs {
+        println!(
+            "{}",
+            serde_json::to_string(run).expect("run serialization cannot fail")
+        );
+    }
+    eprintln!("{} runs expanded from campaign `{}`", runs.len(), spec.name);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut spec_path: Option<&str> = None;
+    let mut workers: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid worker count `{v}`"))?,
+                );
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') && spec_path.is_none() => {
+                spec_path = Some(other);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let spec = load_spec(spec_path.ok_or("run needs a spec path")?)?;
+    let executor = match workers {
+        Some(n) => Executor::new(n),
+        None => Executor::with_available_parallelism(),
+    };
+    let runs = expand(&spec).map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!(
+            "campaign `{}`: {} runs on {} workers...",
+            spec.name,
+            runs.len(),
+            executor.workers()
+        );
+    }
+    let started = Instant::now();
+    let results = executor.execute_runs(&spec.sim, &runs);
+    let outcome = dl2fence_campaign::CampaignOutcome {
+        spec,
+        runs: results,
+    };
+    let report = CampaignReport::build(&outcome).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    if !quiet {
+        eprintln!(
+            "{} runs finished in {:.2}s ({:.1} runs/s)",
+            report.total_runs,
+            elapsed.as_secs_f64(),
+            report.total_runs as f64 / elapsed.as_secs_f64().max(1e-9)
+        );
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            if !quiet {
+                eprintln!("report written to {}", path.display());
+            }
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = CampaignReport::from_json(&text).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    Ok(())
+}

@@ -1,0 +1,259 @@
+//! The campaign executor: a worker pool running independent simulations
+//! concurrently with a parallel-equals-serial determinism guarantee.
+//!
+//! Every run's seed is derived from the spec alone
+//! ([`crate::grid::derive_run_seed`]), workers pull run indices from a
+//! shared atomic counter, and results are reassembled in index order before
+//! aggregation — so the number of workers affects wall-clock time only,
+//! never a single output byte.
+
+use crate::grid::{self, RunSpec};
+use crate::spec::{CampaignSpec, SimParams, SpecError};
+use noc_monitor::{FrameSampler, GroundTruth, LabeledSample};
+use noc_sim::{EnergyModel, NocConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Scalar measurements of one finished run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Mean end-to-end packet latency, cycles.
+    pub packet_latency: f64,
+    /// Mean packet queueing latency (creation → head injection), cycles.
+    pub packet_queue_latency: f64,
+    /// Mean end-to-end flit latency, cycles.
+    pub flit_latency: f64,
+    /// Mean flit queueing latency, cycles.
+    pub flit_queue_latency: f64,
+    /// Packets created during the run.
+    pub packets_created: u64,
+    /// Packets delivered during the run.
+    pub packets_received: u64,
+    /// Malicious packets delivered during the run.
+    pub malicious_packets_received: u64,
+    /// Whether an injection queue saturated (the paper's "system crashed").
+    pub saturated: bool,
+    /// Estimated total dynamic + static energy, nanojoules.
+    pub energy_nj: f64,
+    /// Estimated average power, milliwatts.
+    pub power_mw: f64,
+}
+
+/// One finished run: its spec, measurements and (optionally) the labeled
+/// monitoring-window samples for the evaluation phase.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The run that was executed.
+    pub spec: RunSpec,
+    /// Scalar measurements.
+    pub metrics: RunMetrics,
+    /// Labeled VCO/BOC samples (empty unless `sim.collect_samples`).
+    pub samples: Vec<LabeledSample>,
+}
+
+/// A fully executed campaign: the spec plus every run's result, in matrix
+/// order.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The spec the campaign ran from.
+    pub spec: CampaignSpec,
+    /// Results, ordered by run index.
+    pub runs: Vec<RunResult>,
+}
+
+/// Executes one run of a campaign.
+pub fn execute_run(sim: &SimParams, run: &RunSpec) -> RunResult {
+    let mut noc = NocConfig::mesh(run.mesh, run.mesh);
+    if sim.injection_queue_capacity > 0 {
+        noc = noc.with_injection_queue_capacity(sim.injection_queue_capacity);
+    }
+    let mut scenario = run.scenario.build(noc, run.run_seed);
+    let truth = GroundTruth::of_scenario(&scenario);
+    scenario.run(sim.warmup_cycles);
+    scenario.network_mut().reset_boc();
+    let mut samples = Vec::new();
+    for _ in 0..sim.samples_per_run {
+        scenario.run(sim.sample_period);
+        if sim.collect_samples {
+            let (vco, boc) = FrameSampler::sample_both(scenario.network());
+            samples.push(LabeledSample {
+                vco,
+                boc,
+                truth: truth.clone(),
+                benchmark: run.workload.clone(),
+            });
+        }
+        scenario.network_mut().reset_boc();
+    }
+    let stats = scenario.network().stats();
+    let energy = EnergyModel::new().estimate(stats, run.mesh * run.mesh);
+    RunResult {
+        spec: run.clone(),
+        metrics: RunMetrics {
+            packet_latency: stats.packet_latency.mean(),
+            packet_queue_latency: stats.packet_queue_latency.mean(),
+            flit_latency: stats.flit_latency.mean(),
+            flit_queue_latency: stats.flit_queue_latency.mean(),
+            packets_created: stats.packets_created,
+            packets_received: stats.packets_received,
+            malicious_packets_received: stats.malicious_packets_received,
+            saturated: scenario.network().is_saturated(),
+            energy_nj: energy.total_nj,
+            power_mw: energy.average_mw,
+        },
+        samples,
+    }
+}
+
+/// Runs campaigns over a pool of worker threads.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// Creates an executor with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Expands and executes `spec`, returning results in matrix order.
+    ///
+    /// The output is byte-for-byte identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the spec fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a bug in the simulator stack).
+    pub fn execute(&self, spec: &CampaignSpec) -> Result<CampaignOutcome, SpecError> {
+        let runs = grid::expand(spec)?;
+        let results = self.execute_runs(&spec.sim, &runs);
+        Ok(CampaignOutcome {
+            spec: spec.clone(),
+            runs: results,
+        })
+    }
+
+    /// Executes an already expanded run matrix, returning results in matrix
+    /// order.
+    pub fn execute_runs(&self, sim: &SimParams, runs: &[RunSpec]) -> Vec<RunResult> {
+        if runs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(runs.len());
+        if workers == 1 {
+            return runs.iter().map(|r| execute_run(sim, r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+        let mut slots: Vec<Option<RunResult>> = (0..runs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs.len() {
+                        break;
+                    }
+                    let result = execute_run(sim, &runs[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Streamed aggregation: slot results as they arrive instead of
+            // buffering channel messages until the end.
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every run index is executed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::quick("tiny");
+        spec.grid.mesh = vec![4];
+        spec.grid.fir = vec![0.8];
+        spec.grid.workloads = vec!["uniform".into()];
+        spec.grid.attack_placements = 2;
+        spec.grid.benign_runs = 1;
+        spec.grid.seeds = vec![3];
+        spec.sim.warmup_cycles = 50;
+        spec.sim.sample_period = 150;
+        spec.sim.samples_per_run = 1;
+        spec
+    }
+
+    #[test]
+    fn attack_runs_deliver_malicious_packets() {
+        let outcome = Executor::new(1).execute(&tiny_spec()).unwrap();
+        assert_eq!(outcome.runs.len(), 3);
+        for run in &outcome.runs {
+            assert!(run.metrics.packets_received > 0, "run delivered no packets");
+            assert_eq!(
+                run.metrics.malicious_packets_received > 0,
+                run.spec.is_attack()
+            );
+            assert!(run.metrics.energy_nj > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        let spec = tiny_spec();
+        let serial = Executor::new(1).execute(&spec).unwrap();
+        let parallel = Executor::new(4).execute(&spec).unwrap();
+        assert_eq!(serial.runs.len(), parallel.runs.len());
+        for (s, p) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(s.spec, p.spec);
+            assert_eq!(s.metrics, p.metrics);
+        }
+    }
+
+    #[test]
+    fn samples_are_collected_only_on_request() {
+        let mut spec = tiny_spec();
+        let without = Executor::new(2).execute(&spec).unwrap();
+        assert!(without.runs.iter().all(|r| r.samples.is_empty()));
+        spec.sim.collect_samples = true;
+        let with = Executor::new(2).execute(&spec).unwrap();
+        assert!(with
+            .runs
+            .iter()
+            .all(|r| r.samples.len() == spec.sim.samples_per_run));
+        assert_eq!(
+            with.runs[0].samples[0].truth.under_attack,
+            with.runs[0].spec.is_attack()
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Cartesian grid expansion: a [`CampaignSpec`] becomes a concrete,
+//! deterministically ordered and seeded run matrix.
+//!
+//! The expansion order is part of the engine's contract: run indices (and
+//! therefore derived per-run seeds) depend only on the spec, never on thread
+//! scheduling, which is what makes parallel and serial campaign execution
+//! bit-identical.
+
+use crate::spec::{CampaignSpec, SpecError};
+use noc_monitor::dataset::attack_catalog;
+use noc_monitor::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+
+/// One fully resolved run of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Position in the expanded matrix (also the seed-derivation input).
+    pub index: usize,
+    /// The campaign master seed this run replicates.
+    pub campaign_seed: u64,
+    /// The derived per-run seed (see [`derive_run_seed`]).
+    pub run_seed: u64,
+    /// Mesh side (the NoC is `mesh × mesh`).
+    pub mesh: usize,
+    /// Benchmark name of the benign workload.
+    pub workload: String,
+    /// The scenario to simulate (workload, attackers, victim, FIR).
+    pub scenario: ScenarioSpec,
+}
+
+impl RunSpec {
+    /// Whether this run contains an attack.
+    pub fn is_attack(&self) -> bool {
+        self.scenario.is_attack()
+    }
+}
+
+/// Derives the master seed of run `index` from the campaign seed.
+///
+/// splitmix64 over the campaign seed plus the golden-ratio-scaled index:
+/// statistically independent streams per run, reproducible from the spec
+/// alone, and independent of which worker thread executes the run.
+pub fn derive_run_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Expands a spec into its run matrix.
+///
+/// For every `(seed, mesh, workload)` combination the matrix contains
+/// `grid.benign_runs` attack-free runs followed, for every FIR value, by
+/// `grid.attack_placements` attacked runs whose placements come from the
+/// shared deterministic [`attack_catalog`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the spec fails validation.
+pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunSpec>, SpecError> {
+    spec.validate()?;
+    let workloads = spec.workloads()?;
+    let mut runs = Vec::new();
+    for &campaign_seed in &spec.grid.seeds {
+        for &mesh in &spec.grid.mesh {
+            for workload in &workloads {
+                for _ in 0..spec.grid.benign_runs {
+                    push_run(
+                        &mut runs,
+                        campaign_seed,
+                        mesh,
+                        ScenarioSpec::benign(*workload),
+                    );
+                }
+                for &fir in &spec.grid.fir {
+                    if fir == 0.0 {
+                        // FIR 0 is an attack-free point (Figure-1 style
+                        // sweeps include it); one run, no placements.
+                        push_run(
+                            &mut runs,
+                            campaign_seed,
+                            mesh,
+                            ScenarioSpec::benign(*workload),
+                        );
+                        continue;
+                    }
+                    for (attackers, victim, fir) in
+                        attack_catalog(mesh, mesh, spec.grid.attack_placements, fir)
+                    {
+                        push_run(
+                            &mut runs,
+                            campaign_seed,
+                            mesh,
+                            ScenarioSpec::attacked(*workload, attackers, victim, fir),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(runs)
+}
+
+/// Builds a run matrix directly from explicit scenarios (all on the same
+/// `mesh × mesh` NoC), with the engine's index order and seed derivation.
+///
+/// This is the low-level entry point for harnesses that already know their
+/// exact scenario list (e.g. the paper's fixed attacker placements) and only
+/// want the engine's parallel execution and determinism guarantees.
+pub fn runs_from_scenarios(
+    campaign_seed: u64,
+    mesh: usize,
+    scenarios: impl IntoIterator<Item = ScenarioSpec>,
+) -> Vec<RunSpec> {
+    let mut runs = Vec::new();
+    for scenario in scenarios {
+        push_run(&mut runs, campaign_seed, mesh, scenario);
+    }
+    runs
+}
+
+fn push_run(runs: &mut Vec<RunSpec>, campaign_seed: u64, mesh: usize, scenario: ScenarioSpec) {
+    let index = runs.len();
+    runs.push(RunSpec {
+        index,
+        campaign_seed,
+        run_seed: derive_run_seed(campaign_seed, index),
+        mesh,
+        workload: scenario.workload.name(),
+        scenario,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_matches_the_grid_arithmetic() {
+        let mut spec = CampaignSpec::quick("count");
+        spec.grid.mesh = vec![4, 8];
+        spec.grid.fir = vec![0.4, 0.8];
+        spec.grid.workloads = vec!["uniform".into(), "tornado".into()];
+        spec.grid.attack_placements = 3;
+        spec.grid.benign_runs = 2;
+        spec.grid.seeds = vec![7, 8];
+        let runs = expand(&spec).unwrap();
+        // seeds × mesh × workloads × (benign + firs × placements)
+        assert_eq!(runs.len(), 2 * 2 * 2 * (2 + 2 * 3));
+        assert_eq!(
+            runs.iter().filter(|r| !r.is_attack()).count(),
+            2 * 2 * 2 * 2
+        );
+        // Indices are dense and in order.
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.index, i);
+            assert_eq!(run.run_seed, derive_run_seed(run.campaign_seed, i));
+        }
+    }
+
+    #[test]
+    fn fir_zero_expands_to_a_single_benign_point() {
+        let mut spec = CampaignSpec::quick("fir0");
+        spec.grid.fir = vec![0.0, 0.5];
+        spec.grid.attack_placements = 4;
+        spec.grid.benign_runs = 0;
+        let runs = expand(&spec).unwrap();
+        assert_eq!(runs.len(), 1 + 4);
+        assert_eq!(runs.iter().filter(|r| r.is_attack()).count(), 4);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let spec = CampaignSpec::quick("det");
+        assert_eq!(expand(&spec).unwrap(), expand(&spec).unwrap());
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_across_runs_and_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for campaign_seed in [0u64, 1, 0xDAC] {
+            for index in 0..100 {
+                assert!(seen.insert(derive_run_seed(campaign_seed, index)));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_spec_fails_expansion() {
+        let mut spec = CampaignSpec::quick("bad");
+        spec.grid.mesh = vec![];
+        assert!(expand(&spec).is_err());
+    }
+}

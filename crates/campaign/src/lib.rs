@@ -1,0 +1,66 @@
+//! # dl2fence-campaign — a declarative, parallel scenario-campaign engine
+//!
+//! DL2Fence's evaluation (Tables 1–3, Figures 1 and 4 of the paper) is built
+//! from hundreds of independent simulate→sample→detect→localize runs across
+//! mesh sizes, flooding injection rates, attack placements and benign
+//! workloads. This crate turns that pattern into infrastructure:
+//!
+//! 1. **Declarative specs** — [`CampaignSpec`] describes a whole experiment
+//!    campaign as a cartesian parameter grid, written as TOML (parsed by the
+//!    built-in [`minitoml`] reader) or JSON.
+//! 2. **Deterministic expansion** — [`grid::expand`] turns the grid into a
+//!    dense run matrix; every run's seed derives from the spec alone via
+//!    [`grid::derive_run_seed`].
+//! 3. **Parallel execution** — [`Executor`] fans the matrix out over a
+//!    worker pool (`std::thread::scope`) and reassembles results in matrix
+//!    order, so **parallel and serial execution produce byte-identical
+//!    output**.
+//! 4. **Aggregated reports** — [`CampaignReport`] groups per-run
+//!    measurements by declarative keys and serializes as deterministic
+//!    JSON; an optional train/evaluate phase reproduces the paper's
+//!    table-style detection/localization metrics.
+//!
+//! The `campaign` binary exposes the engine on the command line
+//! (`expand` / `run` / `report`), and the benchmark harness's table and
+//! figure binaries are built on top of it.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dl2fence_campaign::{CampaignReport, CampaignSpec, Executor};
+//!
+//! let spec = CampaignSpec::from_toml(r#"
+//!     name = "smoke"
+//!     [sim]
+//!     warmup_cycles = 50
+//!     sample_period = 100
+//!     samples_per_run = 1
+//!     [grid]
+//!     mesh = [4]
+//!     fir = [0.8]
+//!     workloads = ["uniform"]
+//!     attack_placements = 2
+//!     benign_runs = 1
+//!     seeds = [7]
+//! "#).unwrap();
+//! let outcome = Executor::new(2).execute(&spec).unwrap();
+//! let report = CampaignReport::build(&outcome).unwrap();
+//! assert_eq!(report.total_runs, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod grid;
+pub mod minitoml;
+pub mod report;
+pub mod spec;
+
+pub use executor::{execute_run, CampaignOutcome, Executor, RunMetrics, RunResult};
+pub use grid::{derive_run_seed, expand, runs_from_scenarios, RunSpec};
+pub use report::{CampaignReport, EvalEntry, GroupSummary};
+pub use spec::{
+    parse_feature, parse_workload, validate_group_by, CampaignSpec, EvalSpec, GridSpec, ReportSpec,
+    SimParams, SpecError,
+};

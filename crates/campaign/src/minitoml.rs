@@ -1,0 +1,389 @@
+//! A minimal TOML-subset parser producing [`serde::Value`] trees.
+//!
+//! The build environment has no crates.io access, so campaign specs are
+//! parsed by this hand-rolled reader instead of the `toml` crate. The
+//! supported subset is exactly what [`crate::CampaignSpec`] files need:
+//!
+//! * `#` comments and blank lines,
+//! * `[table]` and `[table.subtable]` headers,
+//! * `key = value` with string, integer, float, boolean and (possibly
+//!   multi-line) array values,
+//! * basic `"..."` strings with the common escapes.
+//!
+//! Unsupported TOML (arrays of tables, inline tables, dotted keys, dates)
+//! produces a descriptive [`TomlError`].
+
+use serde::Value;
+use std::fmt;
+
+/// A TOML parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TomlError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        TomlError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TOML error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parses a TOML document into an object [`Value`].
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] on the first unsupported or malformed construct.
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently being filled; empty means the root table.
+    let mut current_path: Vec<String> = Vec::new();
+
+    let mut lines = input.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| TomlError::new(line_no, "unterminated table header"))?;
+            if header.starts_with('[') {
+                return Err(TomlError::new(
+                    line_no,
+                    "arrays of tables ([[...]]) are not supported by the mini-TOML parser",
+                ));
+            }
+            current_path = header
+                .split('.')
+                .map(|part| {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        Err(TomlError::new(line_no, "empty table name component"))
+                    } else {
+                        Ok(part.to_string())
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            // Materialise the table so empty sections still deserialize.
+            ensure_table(&mut root, &current_path, line_no)?;
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| TomlError::new(line_no, "expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || key.contains('.') || key.contains('"') {
+            return Err(TomlError::new(
+                line_no,
+                format!("unsupported key `{key}` (bare, undotted keys only)"),
+            ));
+        }
+        let mut value_text = rest.trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while !brackets_balanced(&value_text) {
+            let (_, next) = lines
+                .next()
+                .ok_or_else(|| TomlError::new(line_no, "unterminated array value"))?;
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next).trim());
+        }
+        let value = parse_value(&value_text, line_no)?;
+        let table = ensure_table(&mut root, &current_path, line_no)?;
+        if table.iter().any(|(k, _)| k == key) {
+            return Err(TomlError::new(line_no, format!("duplicate key `{key}`")));
+        }
+        table.push((key.to_string(), value));
+    }
+    Ok(Value::Object(root))
+}
+
+/// Removes a `#` comment, respecting `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn brackets_balanced(text: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth <= 0
+}
+
+/// Walks (creating as needed) the nested object at `path` and returns its
+/// field list.
+fn ensure_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Vec<(String, Value)>, TomlError> {
+    let mut table = root;
+    for part in path {
+        if !table.iter().any(|(k, _)| k == part) {
+            table.push((part.clone(), Value::Object(Vec::new())));
+        }
+        let entry = table
+            .iter_mut()
+            .find(|(k, _)| k == part)
+            .expect("just ensured the entry exists");
+        table = match &mut entry.1 {
+            Value::Object(fields) => fields,
+            _ => {
+                return Err(TomlError::new(
+                    line,
+                    format!("`{part}` is both a value and a table"),
+                ))
+            }
+        };
+    }
+    Ok(table)
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, TomlError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(TomlError::new(line, "missing value"));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('"') {
+        return parse_string(text, line);
+    }
+    if text.starts_with('[') {
+        return parse_array(text, line);
+    }
+    if text.starts_with('{') {
+        return Err(TomlError::new(line, "inline tables are not supported"));
+    }
+    parse_number(text, line)
+}
+
+fn parse_string(text: &str, line: usize) -> Result<Value, TomlError> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| TomlError::new(line, "unterminated string"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return Err(TomlError::new(line, "unescaped quote inside string"));
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                return Err(TomlError::new(
+                    line,
+                    format!("unsupported escape `\\{other}`"),
+                ))
+            }
+            None => return Err(TomlError::new(line, "dangling escape")),
+        }
+    }
+    Ok(Value::Str(out))
+}
+
+fn parse_array(text: &str, line: usize) -> Result<Value, TomlError> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| TomlError::new(line, "unterminated array"))?;
+    let mut items = Vec::new();
+    for element in split_top_level(inner) {
+        let element = element.trim();
+        if element.is_empty() {
+            continue; // Trailing comma.
+        }
+        items.push(parse_value(element, line)?);
+    }
+    Ok(Value::Array(items))
+}
+
+/// Splits on commas that are outside strings and nested brackets.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            ',' if !in_string && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_number(text: &str, line: usize) -> Result<Value, TomlError> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    // Hex first: digits like `0x5EED` must not be mistaken for exponents.
+    if let Some(hex) = clean.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16)
+            .map(Value::UInt)
+            .map_err(|_| TomlError::new(line, format!("invalid hex integer `{text}`")));
+    }
+    if clean.contains('.') || clean.contains('e') || clean.contains('E') {
+        clean
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| TomlError::new(line, format!("invalid float `{text}`")))
+    } else if clean.starts_with('-') {
+        clean
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| TomlError::new(line, format!("invalid integer `{text}`")))
+    } else {
+        clean
+            .parse::<u64>()
+            .map(Value::UInt)
+            .map_err(|_| TomlError::new(line, format!("invalid value `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_keys_and_arrays() {
+        let doc = r#"
+            # A campaign.
+            name = "sweep"   # trailing comment
+            [grid]
+            mesh = [4, 8]
+            fir = [
+                0.2,  # low
+                0.8,
+            ]
+            [sim]
+            warmup_cycles = 200
+            enabled = true
+            label = "a \"b\" c"
+            offset = -3
+            seed = 0xDAC
+        "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.field("name").unwrap(), &Value::Str("sweep".into()));
+        let grid = v.field("grid").unwrap();
+        assert_eq!(
+            grid.field("mesh").unwrap(),
+            &Value::Array(vec![Value::UInt(4), Value::UInt(8)])
+        );
+        assert_eq!(
+            grid.field("fir").unwrap(),
+            &Value::Array(vec![Value::Float(0.2), Value::Float(0.8)])
+        );
+        let sim = v.field("sim").unwrap();
+        assert_eq!(sim.field("warmup_cycles").unwrap(), &Value::UInt(200));
+        assert_eq!(sim.field("enabled").unwrap(), &Value::Bool(true));
+        assert_eq!(sim.field("label").unwrap(), &Value::Str("a \"b\" c".into()));
+        assert_eq!(sim.field("offset").unwrap(), &Value::Int(-3));
+        assert_eq!(sim.field("seed").unwrap(), &Value::UInt(0xDAC));
+    }
+
+    #[test]
+    fn nested_table_headers_create_paths() {
+        let doc = "[a.b]\nx = 1\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.field("a")
+                .unwrap()
+                .field("b")
+                .unwrap()
+                .field("x")
+                .unwrap(),
+            &Value::UInt(1)
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse("[[points]]\nx = 1\n").is_err());
+        assert!(parse("key = {a = 1}\n").is_err());
+        assert!(parse("a.b = 1\n").is_err());
+        assert!(parse("broken\n").is_err());
+        assert!(parse("x = [1, 2\n").is_err());
+        assert!(parse("x = 1\nx = 2\n").is_err());
+    }
+
+    #[test]
+    fn string_arrays_and_empty_tables_work() {
+        let doc = "workloads = [\"uniform\", \"x264\"]\n[eval]\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.field("workloads").unwrap(),
+            &Value::Array(vec![
+                Value::Str("uniform".into()),
+                Value::Str("x264".into())
+            ])
+        );
+        assert_eq!(v.field("eval").unwrap(), &Value::Object(vec![]));
+    }
+}

@@ -1,0 +1,437 @@
+//! Aggregated campaign reports: per-run measurements grouped by the spec's
+//! `report.group_by` keys, plus the optional train/evaluate phase behind the
+//! paper's table-style experiments.
+//!
+//! Everything here is deterministic: groups appear in first-seen run order,
+//! aggregates are accumulated in run-index order, and serialization goes
+//! through the order-preserving `serde` value tree — so a report rendered
+//! from a 16-worker campaign is byte-identical to the serial one.
+
+use crate::executor::{CampaignOutcome, RunResult};
+use crate::spec::{parse_feature, SpecError};
+use dl2fence::evaluation::evaluate;
+use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
+use noc_monitor::LabeledSample;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Aggregated measurements of one report group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// The group key as ordered `(axis, value)` pairs.
+    pub key: Vec<(String, String)>,
+    /// Runs aggregated into this group.
+    pub runs: usize,
+    /// How many of them contained an attack.
+    pub attack_runs: usize,
+    /// How many saturated an injection queue ("system crashed").
+    pub saturated_runs: usize,
+    /// Packets created across the group.
+    pub packets_created: u64,
+    /// Packets delivered across the group.
+    pub packets_received: u64,
+    /// Malicious packets delivered across the group.
+    pub malicious_packets_received: u64,
+    /// Mean of the per-run mean packet latencies, cycles.
+    pub mean_packet_latency: f64,
+    /// Mean of the per-run mean packet queueing latencies, cycles.
+    pub mean_packet_queue_latency: f64,
+    /// Mean of the per-run mean flit latencies, cycles.
+    pub mean_flit_latency: f64,
+    /// Mean of the per-run mean flit queueing latencies, cycles.
+    pub mean_flit_queue_latency: f64,
+    /// Largest per-run mean packet latency, cycles.
+    pub max_packet_latency: f64,
+    /// Total estimated energy, nanojoules.
+    pub energy_nj: f64,
+    /// Mean estimated power, milliwatts.
+    pub mean_power_mw: f64,
+}
+
+/// Detection/localization quality of one evaluation group.
+///
+/// Following the paper's protocol, one DL2Fence instance is trained per
+/// mesh size over that mesh's whole benchmark group; the embedded
+/// [`EvaluationReport`] then breaks the held-out metrics down per benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalEntry {
+    /// Mesh side of the group.
+    pub mesh: usize,
+    /// Training-set size (monitoring windows).
+    pub train_samples: usize,
+    /// Test-set size (monitoring windows).
+    pub test_samples: usize,
+    /// Per-benchmark detection and localization confusions.
+    pub report: EvaluationReport,
+}
+
+/// The serialized output of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub campaign: String,
+    /// Total runs executed.
+    pub total_runs: usize,
+    /// Runs containing an attack.
+    pub attack_runs: usize,
+    /// The grouping keys the summaries use.
+    pub group_by: Vec<String>,
+    /// Aggregates per group, in first-seen run order.
+    pub groups: Vec<GroupSummary>,
+    /// Evaluation-phase results (empty unless `eval.enabled`).
+    pub evaluations: Vec<EvalEntry>,
+}
+
+impl CampaignReport {
+    /// Builds the report of a finished campaign, running the evaluation
+    /// phase if the spec enables it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the eval phase is enabled but its
+    /// configuration is invalid.
+    pub fn build(outcome: &CampaignOutcome) -> Result<Self, SpecError> {
+        let group_by = outcome.spec.report.group_by.clone();
+        let groups = group_runs(&outcome.runs, &group_by);
+        let evaluations = if outcome.spec.eval.enabled {
+            run_eval_phase(outcome)?
+        } else {
+            Vec::new()
+        };
+        Ok(CampaignReport {
+            campaign: outcome.spec.name.clone(),
+            total_runs: outcome.runs.len(),
+            attack_runs: outcome.runs.iter().filter(|r| r.spec.is_attack()).count(),
+            group_by,
+            groups,
+            evaluations,
+        })
+    }
+
+    /// Builds a report (without an eval phase) directly from executed runs
+    /// — the entry point for harnesses that drive the engine with an
+    /// explicit run matrix instead of a full spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if `group_by` contains an unknown key (this
+    /// path bypasses spec validation, so the keys are checked here).
+    pub fn from_runs(
+        campaign: impl Into<String>,
+        group_by: Vec<String>,
+        runs: &[RunResult],
+    ) -> Result<Self, SpecError> {
+        crate::spec::validate_group_by(&group_by)?;
+        Ok(CampaignReport {
+            campaign: campaign.into(),
+            total_runs: runs.len(),
+            attack_runs: runs.iter().filter(|r| r.spec.is_attack()).count(),
+            groups: group_runs(runs, &group_by),
+            group_by,
+            evaluations: Vec::new(),
+        })
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report back from JSON (the `campaign report` subcommand).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::new(e.to_string()))
+    }
+
+    /// Renders the report as a human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign `{}`: {} runs ({} attacked), grouped by [{}]",
+            self.campaign,
+            self.total_runs,
+            self.attack_runs,
+            self.group_by.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "{:<40} {:>5} {:>9} {:>12} {:>12} {:>9} {:>12}",
+            "group", "runs", "saturated", "pkt lat", "queue lat", "pkts/run", "energy (µJ)"
+        );
+        for g in &self.groups {
+            let name: Vec<String> = g.key.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(
+                out,
+                "{:<40} {:>5} {:>9} {:>12.2} {:>12.2} {:>9} {:>12.2}",
+                name.join(" "),
+                g.runs,
+                g.saturated_runs,
+                g.mean_packet_latency,
+                g.mean_packet_queue_latency,
+                g.packets_received / g.runs.max(1) as u64,
+                g.energy_nj / 1_000.0,
+            );
+        }
+        for e in &self.evaluations {
+            let _ = writeln!(
+                out,
+                "\n--- eval: {}x{} mesh ({} train / {} test windows) ---",
+                e.mesh, e.mesh, e.train_samples, e.test_samples
+            );
+            out.push_str(&e.report.render_table());
+        }
+        out
+    }
+}
+
+/// The rendered value of one grouping axis for one run.
+fn axis_value(run: &RunResult, axis: &str) -> String {
+    match axis {
+        "workload" => run.spec.workload.clone(),
+        "fir" => format!("{}", run.spec.scenario.fir),
+        "mesh" => format!("{}", run.spec.mesh),
+        "seed" => format!("{}", run.spec.campaign_seed),
+        "attackers" => format!("{}", run.spec.scenario.attackers.len()),
+        "class" => if run.spec.is_attack() {
+            "attack"
+        } else {
+            "benign"
+        }
+        .to_string(),
+        other => unreachable!("validated group_by key `{other}`"),
+    }
+}
+
+/// Groups runs by the rendered `group_by` key, preserving first-seen order,
+/// and aggregates each group.
+fn group_runs(runs: &[RunResult], group_by: &[String]) -> Vec<GroupSummary> {
+    let mut order: Vec<Vec<(String, String)>> = Vec::new();
+    let mut buckets: Vec<Vec<&RunResult>> = Vec::new();
+    for run in runs {
+        let key: Vec<(String, String)> = group_by
+            .iter()
+            .map(|axis| (axis.clone(), axis_value(run, axis)))
+            .collect();
+        match order.iter().position(|k| *k == key) {
+            Some(i) => buckets[i].push(run),
+            None => {
+                order.push(key);
+                buckets.push(vec![run]);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .zip(buckets)
+        .map(|(key, members)| summarize(key, &members))
+        .collect()
+}
+
+fn summarize(key: Vec<(String, String)>, members: &[&RunResult]) -> GroupSummary {
+    let n = members.len().max(1) as f64;
+    let mean = |f: fn(&RunResult) -> f64| members.iter().map(|r| f(r)).sum::<f64>() / n;
+    GroupSummary {
+        key,
+        runs: members.len(),
+        attack_runs: members.iter().filter(|r| r.spec.is_attack()).count(),
+        saturated_runs: members.iter().filter(|r| r.metrics.saturated).count(),
+        packets_created: members.iter().map(|r| r.metrics.packets_created).sum(),
+        packets_received: members.iter().map(|r| r.metrics.packets_received).sum(),
+        malicious_packets_received: members
+            .iter()
+            .map(|r| r.metrics.malicious_packets_received)
+            .sum(),
+        mean_packet_latency: mean(|r| r.metrics.packet_latency),
+        mean_packet_queue_latency: mean(|r| r.metrics.packet_queue_latency),
+        mean_flit_latency: mean(|r| r.metrics.flit_latency),
+        mean_flit_queue_latency: mean(|r| r.metrics.flit_queue_latency),
+        max_packet_latency: members
+            .iter()
+            .map(|r| r.metrics.packet_latency)
+            .fold(0.0, f64::max),
+        energy_nj: members.iter().map(|r| r.metrics.energy_nj).sum(),
+        mean_power_mw: mean(|r| r.metrics.power_mw),
+    }
+}
+
+/// Splits a group's samples into deterministic, interleaved train and test
+/// sets — the single split policy shared by the eval phase and the bench
+/// harness, so every attack placement contributes to both sides.
+///
+/// `train_fraction` is clamped to `[0.05, 0.95]`; both partitions are
+/// non-empty whenever at least two samples exist.
+pub fn split_samples(
+    samples: Vec<LabeledSample>,
+    train_fraction: f64,
+) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
+    let fraction = train_fraction.clamp(0.05, 0.95);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    if fraction >= 0.5 {
+        // Majority train: every `stride`-th sample goes to the test set.
+        let stride = (1.0 / (1.0 - fraction)).round() as usize;
+        for (i, s) in samples.into_iter().enumerate() {
+            if i % stride == stride - 1 {
+                test.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+    } else {
+        // Minority train: every `stride`-th sample goes to the train set.
+        let stride = (1.0 / fraction).round() as usize;
+        for (i, s) in samples.into_iter().enumerate() {
+            if i % stride == stride - 1 {
+                train.push(s);
+            } else {
+                test.push(s);
+            }
+        }
+    }
+    (train, test)
+}
+
+/// The evaluation phase: per mesh size, split the collected samples, train
+/// one DL2Fence instance over the whole benchmark group (the paper's
+/// protocol) and evaluate it on the held-out set, broken down per benchmark.
+fn run_eval_phase(outcome: &CampaignOutcome) -> Result<Vec<EvalEntry>, SpecError> {
+    let eval = &outcome.spec.eval;
+    let detection = parse_feature(&eval.detection_feature)?;
+    let localization = parse_feature(&eval.localization_feature)?;
+
+    // Group runs by mesh in first-seen order.
+    let mut order: Vec<usize> = Vec::new();
+    let mut buckets: Vec<Vec<&RunResult>> = Vec::new();
+    for run in &outcome.runs {
+        match order.iter().position(|&m| m == run.spec.mesh) {
+            Some(i) => buckets[i].push(run),
+            None => {
+                order.push(run.spec.mesh);
+                buckets.push(vec![run]);
+            }
+        }
+    }
+
+    let mut entries = Vec::new();
+    for (mesh, members) in order.into_iter().zip(buckets) {
+        let samples: Vec<LabeledSample> = members
+            .iter()
+            .flat_map(|r| r.samples.iter().cloned())
+            .collect();
+        if samples.is_empty() {
+            return Err(SpecError::new(
+                "eval phase found no samples; is sim.collect_samples enabled?",
+            ));
+        }
+        let (train, test) = split_samples(samples, eval.train_fraction);
+        if test.is_empty() {
+            return Err(SpecError::new(format!(
+                "eval group for the {mesh}x{mesh} mesh has no test samples; \
+                 lower eval.train_fraction or add runs"
+            )));
+        }
+        let seed = members[0].spec.campaign_seed;
+        let mut config = FenceConfig::new(mesh, mesh)
+            .with_seed(seed)
+            .with_epochs(eval.detector_epochs, eval.localizer_epochs);
+        config.detection_feature = detection;
+        config.localization_feature = localization;
+        let mut fence = Dl2Fence::new(config);
+        fence.train(&train);
+        entries.push(EvalEntry {
+            mesh,
+            train_samples: train.len(),
+            test_samples: test.len(),
+            report: evaluate(&mut fence, &test),
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::spec::CampaignSpec;
+
+    fn outcome(workers: usize) -> CampaignOutcome {
+        let mut spec = CampaignSpec::quick("report-test");
+        spec.grid.mesh = vec![4];
+        spec.grid.fir = vec![0.4, 0.8];
+        spec.grid.workloads = vec!["uniform".into()];
+        spec.grid.attack_placements = 2;
+        spec.grid.benign_runs = 1;
+        spec.grid.seeds = vec![5];
+        spec.sim.warmup_cycles = 50;
+        spec.sim.sample_period = 150;
+        spec.sim.samples_per_run = 1;
+        spec.report.group_by = vec!["class".into(), "fir".into()];
+        Executor::new(workers).execute(&spec).unwrap()
+    }
+
+    #[test]
+    fn groups_follow_first_seen_order_and_sum_runs() {
+        let report = CampaignReport::build(&outcome(1)).unwrap();
+        assert_eq!(report.total_runs, 5);
+        assert_eq!(report.attack_runs, 4);
+        let total: usize = report.groups.iter().map(|g| g.runs).sum();
+        assert_eq!(total, 5);
+        assert_eq!(report.groups[0].key[0].1, "benign");
+        assert!(report.groups.iter().all(|g| g.packets_received > 0));
+    }
+
+    #[test]
+    fn from_runs_rejects_unknown_group_keys() {
+        let outcome = outcome(1);
+        let err = CampaignReport::from_runs("direct", vec!["FIR".into()], &outcome.runs)
+            .expect_err("unknown key must be rejected, not panic");
+        assert!(err.to_string().contains("unknown report.group_by key"));
+        let ok = CampaignReport::from_runs("direct", vec!["fir".into()], &outcome.runs).unwrap();
+        assert_eq!(ok.total_runs, outcome.runs.len());
+        assert!(ok.evaluations.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let report = CampaignReport::build(&outcome(2)).unwrap();
+        let json = report.to_json();
+        let back = CampaignReport::from_json(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn split_samples_partitions_deterministically() {
+        let outcome = {
+            let mut spec = CampaignSpec::quick("split");
+            spec.grid.mesh = vec![4];
+            spec.sim.collect_samples = true;
+            spec.sim.warmup_cycles = 50;
+            spec.sim.sample_period = 100;
+            spec.sim.samples_per_run = 3;
+            Executor::new(1).execute(&spec).unwrap()
+        };
+        let samples: Vec<LabeledSample> = outcome
+            .runs
+            .iter()
+            .flat_map(|r| r.samples.iter().cloned())
+            .collect();
+        let (train, test) = split_samples(samples.clone(), 0.6);
+        assert_eq!(train.len() + test.len(), samples.len());
+        assert!(!train.is_empty() && !test.is_empty());
+        assert!(train.len() > test.len());
+
+        // Regression: minority-train fractions must not collapse the test
+        // set (the old stride formula sent everything to train below ~1/3).
+        let (train, test) = split_samples(samples.clone(), 0.25);
+        assert_eq!(train.len() + test.len(), samples.len());
+        assert!(!train.is_empty() && !test.is_empty());
+        assert!(test.len() > train.len());
+        let quarter = samples.len() as f64 * 0.25;
+        assert!((train.len() as f64 - quarter).abs() <= 2.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] describes a whole batch of simulate→sample→detect→
+//! localize experiments as a cartesian parameter grid: mesh sizes, flooding
+//! injection rates, benign workloads, attack placements and replicate seeds.
+//! Specs are plain data — they can be written as TOML (parsed by
+//! [`crate::minitoml`]) or JSON, round-trip through `serde`, and expand into
+//! a concrete run matrix via [`crate::grid::expand`].
+
+use crate::minitoml;
+use noc_traffic::{BenignWorkload, ParsecWorkload, SyntheticPattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced while loading or validating a campaign spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Simulation parameters shared by every run of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SimParams {
+    /// Cycles simulated before the first sampling window.
+    pub warmup_cycles: u64,
+    /// Length of each sampling window in cycles.
+    pub sample_period: u64,
+    /// Sampling windows per run.
+    pub samples_per_run: usize,
+    /// Whether runs keep their labeled VCO/BOC samples (needed by the eval
+    /// phase; costs memory on large campaigns).
+    pub collect_samples: bool,
+    /// Per-node injection queue capacity; `0` keeps the simulator default.
+    pub injection_queue_capacity: usize,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            warmup_cycles: 200,
+            sample_period: 400,
+            samples_per_run: 2,
+            collect_samples: false,
+            injection_queue_capacity: 0,
+        }
+    }
+}
+
+/// The cartesian parameter grid of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct GridSpec {
+    /// Mesh sides to sweep (`8` means an 8×8 mesh).
+    pub mesh: Vec<usize>,
+    /// Flooding injection rates of the attack runs.
+    pub fir: Vec<f64>,
+    /// Benign workload names (see [`parse_workload`]); aliases `"stp"`,
+    /// `"parsec"` and `"all"` expand to the paper's benchmark groups.
+    pub workloads: Vec<String>,
+    /// Attack placements per (seed, mesh, workload, FIR) combination.
+    pub attack_placements: usize,
+    /// Attack-free runs per (seed, mesh, workload) combination.
+    pub benign_runs: usize,
+    /// Campaign master seeds; each replicates the whole grid.
+    pub seeds: Vec<u64>,
+    /// Benign injection rate used by synthetic workloads.
+    pub injection_rate: f64,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            mesh: vec![8],
+            fir: vec![0.8],
+            workloads: vec!["uniform".to_string()],
+            attack_placements: 2,
+            benign_runs: 1,
+            seeds: vec![0xDAC],
+            injection_rate: 0.02,
+        }
+    }
+}
+
+/// How the per-run results are grouped in the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ReportSpec {
+    /// Grouping keys, applied in order. Valid keys: `workload`, `fir`,
+    /// `mesh`, `seed`, `attackers`, `class`.
+    pub group_by: Vec<String>,
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        ReportSpec {
+            group_by: vec!["workload".to_string(), "fir".to_string()],
+        }
+    }
+}
+
+/// The optional train/evaluate phase appended to a campaign (used by the
+/// paper's table-style experiments). Requires `sim.collect_samples`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct EvalSpec {
+    /// Whether the phase runs at all.
+    pub enabled: bool,
+    /// Fraction of samples used for training; the rest is the test set.
+    pub train_fraction: f64,
+    /// Detector training epochs.
+    pub detector_epochs: usize,
+    /// Localizer training epochs.
+    pub localizer_epochs: usize,
+    /// Feature driving detection: `"vco"` or `"boc"`.
+    pub detection_feature: String,
+    /// Feature driving localization: `"vco"` or `"boc"`.
+    pub localization_feature: String,
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        EvalSpec {
+            enabled: false,
+            train_fraction: 0.6,
+            detector_epochs: 40,
+            localizer_epochs: 40,
+            detection_feature: "vco".to_string(),
+            localization_feature: "boc".to_string(),
+        }
+    }
+}
+
+/// A complete declarative campaign: grid, simulation parameters, report
+/// grouping and the optional evaluation phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name (appears in reports).
+    pub name: String,
+    /// Simulation parameters.
+    pub sim: SimParams,
+    /// The parameter grid.
+    pub grid: GridSpec,
+    /// Report grouping.
+    pub report: ReportSpec,
+    /// Optional train/evaluate phase.
+    pub eval: EvalSpec,
+}
+
+impl Default for CampaignSpec {
+    /// The defaults behind every optional spec section. The empty name is a
+    /// deserialization fallback source only — `validate` rejects it.
+    fn default() -> Self {
+        CampaignSpec {
+            name: String::new(),
+            sim: SimParams::default(),
+            grid: GridSpec::default(),
+            report: ReportSpec::default(),
+            eval: EvalSpec::default(),
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// A small ready-to-run campaign used by examples and tests.
+    pub fn quick(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Parses a TOML campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on malformed TOML, an unknown workload name,
+    /// or an invalid parameter combination.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let value = minitoml::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+        let spec: CampaignSpec =
+            Deserialize::from_value(&value).map_err(|e| SpecError::new(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a JSON campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on malformed JSON, an unknown workload name,
+    /// or an invalid parameter combination.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: CampaignSpec =
+            serde_json::from_str(text).map_err(|e| SpecError::new(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Loads a spec from a `.toml` or `.json` file, chosen by extension.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the file cannot be read or parsed.
+    pub fn from_path(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json(&text),
+            _ => Self::from_toml(&text),
+        }
+    }
+
+    /// The fully resolved benign workloads of the grid (aliases expanded).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first unknown workload.
+    pub fn workloads(&self) -> Result<Vec<BenignWorkload>, SpecError> {
+        let mut out = Vec::new();
+        for name in &self.grid.workloads {
+            match name.to_ascii_lowercase().as_str() {
+                "stp" => out.extend(
+                    SyntheticPattern::ALL
+                        .into_iter()
+                        .map(|p| BenignWorkload::Synthetic(p, self.grid.injection_rate)),
+                ),
+                "parsec" => out.extend(ParsecWorkload::ALL.into_iter().map(BenignWorkload::Parsec)),
+                "all" => {
+                    out.extend(
+                        SyntheticPattern::ALL
+                            .into_iter()
+                            .map(|p| BenignWorkload::Synthetic(p, self.grid.injection_rate)),
+                    );
+                    out.extend(ParsecWorkload::ALL.into_iter().map(BenignWorkload::Parsec));
+                }
+                _ => out.push(parse_workload(name, self.grid.injection_rate)?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks the invariants the engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("campaign name must not be empty"));
+        }
+        if self.grid.mesh.is_empty() {
+            return Err(SpecError::new("grid.mesh must list at least one mesh side"));
+        }
+        if let Some(m) = self.grid.mesh.iter().find(|&&m| m < 2) {
+            return Err(SpecError::new(format!(
+                "mesh side {m} is too small (min 2)"
+            )));
+        }
+        if self.grid.seeds.is_empty() {
+            return Err(SpecError::new("grid.seeds must list at least one seed"));
+        }
+        if let Some(f) = self.grid.fir.iter().find(|&&f| !(0.0..=1.0).contains(&f)) {
+            return Err(SpecError::new(format!("FIR {f} outside [0, 1]")));
+        }
+        if self.grid.attack_placements == 0 && self.grid.benign_runs == 0 {
+            return Err(SpecError::new(
+                "grid needs attack_placements > 0 or benign_runs > 0",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.grid.injection_rate) {
+            return Err(SpecError::new(format!(
+                "injection_rate {} outside [0, 1]",
+                self.grid.injection_rate
+            )));
+        }
+        if self.sim.samples_per_run == 0 || self.sim.sample_period == 0 {
+            return Err(SpecError::new(
+                "sim.samples_per_run and sim.sample_period must be positive",
+            ));
+        }
+        if self.eval.enabled {
+            if !self.sim.collect_samples {
+                return Err(SpecError::new(
+                    "eval.enabled requires sim.collect_samples = true",
+                ));
+            }
+            if !(0.05..=0.95).contains(&self.eval.train_fraction) {
+                return Err(SpecError::new(format!(
+                    "eval.train_fraction {} outside [0.05, 0.95] (both partitions must be non-empty)",
+                    self.eval.train_fraction
+                )));
+            }
+            parse_feature(&self.eval.detection_feature)?;
+            parse_feature(&self.eval.localization_feature)?;
+        }
+        self.workloads()?;
+        validate_group_by(&self.report.group_by)?;
+        Ok(())
+    }
+}
+
+/// Checks that every report grouping key is one the engine can render —
+/// shared by spec validation and [`crate::CampaignReport::from_runs`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the first unknown key.
+pub fn validate_group_by(keys: &[String]) -> Result<(), SpecError> {
+    for key in keys {
+        if !matches!(
+            key.as_str(),
+            "workload" | "fir" | "mesh" | "seed" | "attackers" | "class"
+        ) {
+            return Err(SpecError::new(format!(
+                "unknown report.group_by key `{key}` (expected workload/fir/mesh/seed/attackers/class)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a workload name (`"uniform"`, `"tornado"`, `"shuffle"`,
+/// `"neighbor"`, `"bit-rotation"`, `"bit-complement"`, `"blackscholes"`,
+/// `"bodytrack"`, `"x264"`, `"idle"`) into a [`BenignWorkload`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] listing the valid names when `name` is unknown.
+pub fn parse_workload(name: &str, injection_rate: f64) -> Result<BenignWorkload, SpecError> {
+    let canonical: String = name
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    let workload = match canonical.as_str() {
+        "uniform" | "uniformrandom" => {
+            BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, injection_rate)
+        }
+        "tornado" => BenignWorkload::Synthetic(SyntheticPattern::Tornado, injection_rate),
+        "shuffle" => BenignWorkload::Synthetic(SyntheticPattern::Shuffle, injection_rate),
+        "neighbor" | "neighbour" => {
+            BenignWorkload::Synthetic(SyntheticPattern::Neighbor, injection_rate)
+        }
+        "bitrotation" | "rotation" => {
+            BenignWorkload::Synthetic(SyntheticPattern::BitRotation, injection_rate)
+        }
+        "bitcomplement" | "complement" => {
+            BenignWorkload::Synthetic(SyntheticPattern::BitComplement, injection_rate)
+        }
+        "blackscholes" => BenignWorkload::Parsec(ParsecWorkload::Blackscholes),
+        "bodytrack" => BenignWorkload::Parsec(ParsecWorkload::Bodytrack),
+        "x264" => BenignWorkload::Parsec(ParsecWorkload::X264),
+        "idle" => BenignWorkload::Idle,
+        _ => {
+            return Err(SpecError::new(format!(
+                "unknown workload `{name}` (expected uniform, tornado, shuffle, neighbor, \
+                 bit-rotation, bit-complement, blackscholes, bodytrack, x264, idle, \
+                 or the aliases stp/parsec/all)"
+            )))
+        }
+    };
+    Ok(workload)
+}
+
+/// Resolves a feature name (`"vco"` / `"boc"`) for the eval phase.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when `name` is neither feature.
+pub fn parse_feature(name: &str) -> Result<noc_monitor::FeatureKind, SpecError> {
+    match name.to_ascii_lowercase().as_str() {
+        "vco" => Ok(noc_monitor::FeatureKind::Vco),
+        "boc" => Ok(noc_monitor::FeatureKind::Boc),
+        _ => Err(SpecError::new(format!(
+            "unknown feature `{name}` (expected `vco` or `boc`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+        name = "demo"
+        [sim]
+        warmup_cycles = 100
+        sample_period = 200
+        samples_per_run = 2
+        [grid]
+        mesh = [4, 8]
+        fir = [0.4, 0.8]
+        workloads = ["uniform", "x264"]
+        attack_placements = 2
+        benign_runs = 1
+        seeds = [1, 2]
+        [report]
+        group_by = ["workload", "fir"]
+    "#;
+
+    #[test]
+    fn toml_spec_parses_and_validates() {
+        let spec = CampaignSpec::from_toml(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.grid.mesh, vec![4, 8]);
+        assert_eq!(spec.grid.seeds, vec![1, 2]);
+        assert_eq!(spec.sim.sample_period, 200);
+        assert!(!spec.eval.enabled);
+        assert_eq!(spec.workloads().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_spec() {
+        let spec = CampaignSpec::from_toml(SPEC).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn omitted_optional_fields_fall_back_to_spec_defaults() {
+        // Regression: `#[serde(default)]` must pull from the struct-level
+        // defaults (injection_rate 0.02), not the field type's zero value —
+        // otherwise benign synthetic workloads silently inject nothing.
+        let spec = CampaignSpec::from_toml(
+            "name = \"defaults\"\n[grid]\nmesh = [8]\nfir = [0.8]\nworkloads = [\"uniform\"]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.grid.injection_rate, GridSpec::default().injection_rate);
+        assert_eq!(spec.grid.seeds, GridSpec::default().seeds);
+        assert_eq!(spec.sim, SimParams::default());
+        assert_eq!(spec.eval, EvalSpec::default());
+        assert!(spec.grid.injection_rate > 0.0);
+        match spec.workloads().unwrap()[0] {
+            noc_traffic::BenignWorkload::Synthetic(_, rate) => assert_eq!(rate, 0.02),
+            ref other => panic!("expected synthetic workload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases_expand_to_benchmark_groups() {
+        let mut spec = CampaignSpec::quick("alias");
+        spec.grid.workloads = vec!["stp".into(), "parsec".into()];
+        assert_eq!(spec.workloads().unwrap().len(), 9);
+        spec.grid.workloads = vec!["all".into()];
+        assert_eq!(spec.workloads().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut spec = CampaignSpec::quick("bad");
+        spec.grid.fir = vec![1.5];
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::quick("bad");
+        spec.grid.workloads = vec!["warcraft".into()];
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::quick("bad");
+        spec.eval.enabled = true; // collect_samples is false
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::quick("bad");
+        spec.report.group_by = vec!["phase_of_moon".into()];
+        assert!(spec.validate().is_err());
+
+        assert!(CampaignSpec::from_toml("name = 3").is_err());
+    }
+
+    #[test]
+    fn workload_names_cover_the_paper_benchmarks() {
+        for name in [
+            "uniform",
+            "tornado",
+            "shuffle",
+            "neighbor",
+            "bit-rotation",
+            "bit-complement",
+            "blackscholes",
+            "bodytrack",
+            "x264",
+        ] {
+            assert!(parse_workload(name, 0.02).is_ok(), "{name} should parse");
+        }
+        assert!(parse_workload("quake", 0.02).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests of the campaign engine: grid expansion arithmetic,
+//! TOML spec loading, and the parallel-equals-serial determinism guarantee
+//! down to the last report byte.
+
+use dl2fence_campaign::{expand, CampaignReport, CampaignSpec, Executor};
+
+const SWEEP_SPEC: &str = r#"
+name = "integration-sweep"
+
+[sim]
+warmup_cycles = 100
+sample_period = 200
+samples_per_run = 2
+collect_samples = true
+
+[grid]
+mesh = [4, 8]
+fir = [0.4, 0.8]
+workloads = ["uniform", "tornado"]
+attack_placements = 2
+benign_runs = 1
+seeds = [0xDAC]
+
+[report]
+group_by = ["workload", "fir", "mesh"]
+
+[eval]
+enabled = true
+train_fraction = 0.5
+detector_epochs = 8
+localizer_epochs = 4
+detection_feature = "vco"
+localization_feature = "boc"
+"#;
+
+#[test]
+fn grid_expansion_produces_the_expected_run_matrix() {
+    let spec = CampaignSpec::from_toml(SWEEP_SPEC).unwrap();
+    let runs = expand(&spec).unwrap();
+    // seeds(1) × mesh(2) × workloads(2) × (benign(1) + firs(2) × placements(2))
+    assert_eq!(runs.len(), 2 * 2 * (1 + 2 * 2));
+    assert!(runs.len() >= 12, "acceptance floor: at least 12 runs");
+
+    // Dense, ordered indices with spec-derived seeds.
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(run.index, i);
+        assert_eq!(
+            run.run_seed,
+            dl2fence_campaign::derive_run_seed(run.campaign_seed, i)
+        );
+    }
+    // Both meshes, both workloads, both classes appear.
+    for mesh in [4, 8] {
+        assert!(runs.iter().any(|r| r.mesh == mesh));
+    }
+    for workload in ["Uniform Random", "Tornado"] {
+        assert!(runs.iter().any(|r| r.workload == workload));
+    }
+    assert_eq!(runs.iter().filter(|r| !r.is_attack()).count(), 4);
+    // Attack placements never target the attacker itself.
+    for run in runs.iter().filter(|r| r.is_attack()) {
+        assert!(!run.scenario.attackers.contains(&run.scenario.victim));
+    }
+}
+
+#[test]
+fn four_worker_campaign_matches_serial_byte_for_byte() {
+    let spec = CampaignSpec::from_toml(SWEEP_SPEC).unwrap();
+    assert!(expand(&spec).unwrap().len() >= 12);
+
+    let serial = Executor::new(1).execute(&spec).unwrap();
+    let parallel = Executor::new(4).execute(&spec).unwrap();
+
+    let serial_json = CampaignReport::build(&serial).unwrap().to_json();
+    let parallel_json = CampaignReport::build(&parallel).unwrap().to_json();
+    assert!(
+        !serial_json.is_empty() && serial_json.contains("\"evaluations\""),
+        "report must include the eval phase"
+    );
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel aggregated report must be byte-identical to serial"
+    );
+}
+
+#[test]
+fn report_json_survives_a_round_trip() {
+    let mut spec = CampaignSpec::from_toml(SWEEP_SPEC).unwrap();
+    // Shrink for speed: one mesh, no eval.
+    spec.grid.mesh = vec![4];
+    spec.eval.enabled = false;
+    spec.sim.collect_samples = false;
+    let outcome = Executor::new(2).execute(&spec).unwrap();
+    let report = CampaignReport::build(&outcome).unwrap();
+    let back = CampaignReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(report, back);
+    assert_eq!(back.group_by, vec!["workload", "fir", "mesh"]);
+    let grouped_runs: usize = back.groups.iter().map(|g| g.runs).sum();
+    assert_eq!(grouped_runs, back.total_runs);
+}

@@ -68,7 +68,11 @@ impl DosDetector {
             .push(Relu::new())
             .push(MaxPool2d::new(2))
             .push(Flatten::new())
-            .push(Dense::new(kernels * pooled_h * pooled_w, 1, seed.wrapping_add(1)))
+            .push(Dense::new(
+                kernels * pooled_h * pooled_w,
+                1,
+                seed.wrapping_add(1),
+            ))
             .push(Sigmoid::new());
         DosDetector {
             model,

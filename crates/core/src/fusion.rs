@@ -88,12 +88,7 @@ impl MultiFrameFusion {
     /// # Panics
     ///
     /// Panics if any map's length differs from `rows * cols`.
-    pub fn fuse(
-        &self,
-        segmentations: &[Vec<f32>; 4],
-        rows: usize,
-        cols: usize,
-    ) -> FusionResult {
+    pub fn fuse(&self, segmentations: &[Vec<f32>; 4], rows: usize, cols: usize) -> FusionResult {
         for seg in segmentations {
             assert_eq!(seg.len(), rows * cols, "segmentation size mismatch");
         }
@@ -169,12 +164,7 @@ mod tests {
     #[test]
     fn empty_segmentations_fuse_to_nothing() {
         let mff = MultiFrameFusion::for_mesh(4, 4);
-        let segs = [
-            vec![0.0; 16],
-            vec![0.0; 16],
-            vec![0.0; 16],
-            vec![0.0; 16],
-        ];
+        let segs = [vec![0.0; 16], vec![0.0; 16], vec![0.0; 16], vec![0.0; 16]];
         let r = mff.fuse(&segs, 4, 4);
         assert!(!r.has_victims());
         assert!(r.abnormal_directions.is_empty());
@@ -193,7 +183,10 @@ mod tests {
         let r = mff.fuse(&segs, 4, 4);
         assert_eq!(r.victims, vec![NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(r.abnormal_directions, vec![Direction::East]);
-        assert_eq!(r.flagged_by_direction[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            r.flagged_by_direction[0],
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]
@@ -228,7 +221,7 @@ mod tests {
         ];
         let r = mff.fuse(&segs, 4, 4);
         // Node 5 = (x=1, y=1) → padded index y*out_cols + x.
-        assert_eq!(r.fused[1 * r.cols + 1], 2.0);
+        assert_eq!(r.fused[r.cols + 1], 2.0);
         assert_eq!(r.victims, vec![NodeId(5)]);
     }
 

@@ -26,10 +26,7 @@ pub fn frames_to_detector_input(frames: &DirectionalFrames) -> Tensor {
     } else {
         frames.clone()
     };
-    Tensor::from_vec(
-        source.to_channels(),
-        &[4, frames.rows(), frames.cols()],
-    )
+    Tensor::from_vec(source.to_channels(), &[4, frames.rows(), frames.cols()])
 }
 
 /// Converts all four directional frames into single-channel `[1, rows, cols]`
@@ -46,10 +43,7 @@ pub fn frames_to_localizer_inputs(frames: &DirectionalFrames) -> [Tensor; 4] {
         if scale <= f32::EPSILON {
             Tensor::zeros(&shape)
         } else {
-            Tensor::from_vec(
-                frame.data().iter().map(|v| v / scale).collect(),
-                &shape,
-            )
+            Tensor::from_vec(frame.data().iter().map(|v| v / scale).collect(), &shape)
         }
     };
     let mut out: Vec<Tensor> = frames.iter().map(make).collect();
@@ -95,10 +89,7 @@ pub fn direction_masks(truth: &GroundTruth) -> [Vec<f32>; 4] {
 /// The ground-truth mask for one direction as a `[1, rows, cols]` tensor.
 pub fn direction_mask_tensor(truth: &GroundTruth, dir: Direction) -> Tensor {
     let masks = direction_masks(truth);
-    Tensor::from_vec(
-        masks[dir.index()].clone(),
-        &[1, truth.rows, truth.cols],
-    )
+    Tensor::from_vec(masks[dir.index()].clone(), &[1, truth.rows, truth.cols])
 }
 
 #[cfg(test)]

@@ -66,7 +66,10 @@ impl DosLocalizer {
         seed: u64,
     ) -> Self {
         assert!(kernels > 0, "at least one kernel is required");
-        assert!(conv_layers >= 2, "the localizer needs at least two conv layers");
+        assert!(
+            conv_layers >= 2,
+            "the localizer needs at least two conv layers"
+        );
         let mut model = Sequential::new()
             .push(Conv2d::new(1, kernels, 3, Padding::Same, seed))
             .push(Relu::new());
@@ -145,10 +148,8 @@ impl DosLocalizer {
             let inputs = frames_to_localizer_inputs(frames);
             let masks = direction_masks(&s.truth);
             for dir in Direction::CARDINAL {
-                let target = Tensor::from_vec(
-                    masks[dir.index()].clone(),
-                    &[1, s.truth.rows, s.truth.cols],
-                );
+                let target =
+                    Tensor::from_vec(masks[dir.index()].clone(), &[1, s.truth.rows, s.truth.cols]);
                 ds.push(inputs[dir.index()].clone(), target);
             }
         }

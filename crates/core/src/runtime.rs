@@ -174,8 +174,7 @@ mod tests {
 
     fn trained_fence(mesh: usize) -> Dl2Fence {
         let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02);
-        let generator =
-            DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
+        let generator = DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
         let specs = vec![
             ScenarioSpec::attacked(workload, vec![NodeId(7)], NodeId(0), 0.9),
             ScenarioSpec::attacked(workload, vec![NodeId(56)], NodeId(63), 0.9),
@@ -184,7 +183,11 @@ mod tests {
             ScenarioSpec::benign(workload),
         ];
         let samples = generator.collect(&specs);
-        let mut fence = Dl2Fence::new(FenceConfig::new(mesh, mesh).with_epochs(40, 30).with_seed(5));
+        let mut fence = Dl2Fence::new(
+            FenceConfig::new(mesh, mesh)
+                .with_epochs(40, 30)
+                .with_seed(5),
+        );
         fence.train(&samples);
         fence
     }
@@ -233,10 +236,8 @@ mod tests {
             .build();
         let _ = monitor.round(&mut scenario);
         // Immediately after a round the BOC counters are reset.
-        let boc = noc_monitor::FrameSampler::sample(
-            scenario.network(),
-            noc_monitor::FeatureKind::Boc,
-        );
+        let boc =
+            noc_monitor::FrameSampler::sample(scenario.network(), noc_monitor::FeatureKind::Boc);
         assert_eq!(boc.max_value(), 0.0);
     }
 

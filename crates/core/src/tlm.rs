@@ -103,11 +103,7 @@ mod tests {
     use super::*;
     use crate::fusion::MultiFrameFusion;
 
-    fn fusion_with(
-        rows: usize,
-        cols: usize,
-        per_direction: [&[usize]; 4],
-    ) -> FusionResult {
+    fn fusion_with(rows: usize, cols: usize, per_direction: [&[usize]; 4]) -> FusionResult {
         let mut segs = [
             vec![0.0f32; rows * cols],
             vec![0.0f32; rows * cols],

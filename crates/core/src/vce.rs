@@ -67,11 +67,7 @@ impl VictimComplementingEnhancement {
     /// The deduced destination: the detected victim farthest (in Manhattan
     /// distance) from the pseudo-source — for an XY route this is the target
     /// victim at the far end of the attack path.
-    pub fn deduced_destination(
-        &self,
-        fusion: &FusionResult,
-        pseudo_src: NodeId,
-    ) -> Option<NodeId> {
+    pub fn deduced_destination(&self, fusion: &FusionResult, pseudo_src: NodeId) -> Option<NodeId> {
         let src = Coord::from_id(pseudo_src, self.cols);
         fusion
             .victims
@@ -151,7 +147,10 @@ mod tests {
         let vce = VictimComplementingEnhancement::new(4, 4);
         assert_eq!(vce.pseudo_source(&fusion), Some(NodeId(14)));
         let completed = vce.complete(&fusion);
-        assert!(completed.contains(&NodeId(4)), "missing RPV 4 should be deduced");
+        assert!(
+            completed.contains(&NodeId(4)),
+            "missing RPV 4 should be deduced"
+        );
         assert!(completed.contains(&NodeId(12)));
         assert!(completed.contains(&NodeId(0)));
     }

@@ -172,7 +172,12 @@ impl DatasetGenerator {
 /// — the reproduction of the paper's "18 attack scenarios".
 ///
 /// Placements keep attackers distinct from the victim and inside the mesh.
-pub fn attack_catalog(rows: usize, cols: usize, count: usize, fir: f64) -> Vec<(Vec<NodeId>, NodeId, f64)> {
+pub fn attack_catalog(
+    rows: usize,
+    cols: usize,
+    count: usize,
+    fir: f64,
+) -> Vec<(Vec<NodeId>, NodeId, f64)> {
     let n = rows * cols;
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
@@ -181,7 +186,11 @@ pub fn attack_catalog(rows: usize, cols: usize, count: usize, fir: f64) -> Vec<(
         let a1 = NodeId((victim.0 + (i + 1) * (cols + 1) + 1) % n);
         if i % 2 == 0 {
             // Single attacker.
-            let attacker = if a1 == victim { NodeId((a1.0 + 1) % n) } else { a1 };
+            let attacker = if a1 == victim {
+                NodeId((a1.0 + 1) % n)
+            } else {
+                a1
+            };
             out.push((vec![attacker], victim, fir));
         } else {
             // Two attackers.
@@ -189,7 +198,11 @@ pub fn attack_catalog(rows: usize, cols: usize, count: usize, fir: f64) -> Vec<(
             if a2 == victim || a2 == a1 {
                 a2 = NodeId((a2.0 + 3) % n);
             }
-            let a1 = if a1 == victim { NodeId((a1.0 + 2) % n) } else { a1 };
+            let a1 = if a1 == victim {
+                NodeId((a1.0 + 2) % n)
+            } else {
+                a1
+            };
             if a1 == a2 || a1 == victim || a2 == victim {
                 // Extremely small meshes: fall back to a fixed safe pattern.
                 let attacker = NodeId((victim.0 + 1) % n);

@@ -241,7 +241,10 @@ impl DirectionalFrames {
 
     /// The largest pixel value across all four frames.
     pub fn max_value(&self) -> f32 {
-        self.frames.iter().map(|f| f.max_value()).fold(0.0, f32::max)
+        self.frames
+            .iter()
+            .map(|f| f.max_value())
+            .fold(0.0, f32::max)
     }
 
     /// Flattens the four frames into a single channel-major buffer
@@ -279,7 +282,7 @@ mod tests {
         let mut f = FeatureFrame::zeros(Direction::East, FeatureKind::Boc, 3, 4);
         f.set(2, 1, 7.0);
         assert_eq!(f.get(2, 1), 7.0);
-        assert_eq!(f.data()[1 * 4 + 2], 7.0);
+        assert_eq!(f.data()[4 + 2], 7.0);
     }
 
     #[test]

@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn attack_pairs_recorded() {
         let scenario = AttackScenario::builder(NocConfig::mesh(4, 4))
-            .attack(FloodingAttack::new(vec![NodeId(3), NodeId(12)], NodeId(5), 0.8))
+            .attack(FloodingAttack::new(
+                vec![NodeId(3), NodeId(12)],
+                NodeId(5),
+                0.8,
+            ))
             .build();
         let gt = GroundTruth::of_scenario(&scenario);
         assert_eq!(

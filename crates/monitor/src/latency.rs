@@ -27,7 +27,12 @@ pub struct FirSweepConfig {
 
 impl FirSweepConfig {
     /// The sweep used for Figure 1: FIR 0.0–1.0 in steps of 0.1.
-    pub fn figure1(noc: NocConfig, workload: BenignWorkload, attacker: NodeId, victim: NodeId) -> Self {
+    pub fn figure1(
+        noc: NocConfig,
+        workload: BenignWorkload,
+        attacker: NodeId,
+        victim: NodeId,
+    ) -> Self {
         FirSweepConfig {
             noc,
             workload,
@@ -132,7 +137,10 @@ mod tests {
         // FIR 1.0 creates one packet (5 flits) per cycle at a single NI that
         // can inject at most 1 flit per cycle — the queue must blow up.
         let points = small_sweep(vec![1.0], 2_000);
-        assert!(points[0].saturated, "FIR 1.0 should saturate the attacker's queue");
+        assert!(
+            points[0].saturated,
+            "FIR 1.0 should saturate the attacker's queue"
+        );
         assert!(points[0].packets_created > points[0].packets_received);
     }
 

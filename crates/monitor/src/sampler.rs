@@ -102,8 +102,7 @@ mod tests {
         let boc = FrameSampler::sample(scenario.network(), FeatureKind::Boc);
         let east = boc.frame(Direction::East);
         let on_route_mean: f32 = (0..7).map(|x| east.get(x, 0)).sum::<f32>() / 7.0;
-        let off_route_mean: f32 =
-            (0..7).map(|x| east.get(x, 5)).sum::<f32>() / 7.0;
+        let off_route_mean: f32 = (0..7).map(|x| east.get(x, 5)).sum::<f32>() / 7.0;
         assert!(
             on_route_mean > 3.0 * (off_route_mean + 1.0),
             "attack route BOC {on_route_mean} should dominate off-route {off_route_mean}"

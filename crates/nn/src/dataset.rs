@@ -138,7 +138,11 @@ fn stack<'a>(tensors: impl Iterator<Item = &'a Tensor>) -> Tensor {
     out_shape.extend_from_slice(&shape);
     let mut data = Vec::with_capacity(tensors.len() * tensors[0].len());
     for t in tensors {
-        assert_eq!(t.shape(), shape.as_slice(), "cannot stack mismatched shapes");
+        assert_eq!(
+            t.shape(),
+            shape.as_slice(),
+            "cannot stack mismatched shapes"
+        );
         data.extend_from_slice(t.data());
     }
     Tensor::from_vec(data, &out_shape)

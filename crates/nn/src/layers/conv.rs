@@ -150,7 +150,12 @@ impl Conv2d {
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.rank(), 4, "expected NCHW tensor, got shape {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        4,
+        "expected NCHW tensor, got shape {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
 }
 

@@ -62,9 +62,7 @@ pub use trainer::{Trainer, TrainingConfig, TrainingReport};
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
     pub use crate::dataset::{Batch, Dataset};
-    pub use crate::layers::{
-        Conv2d, Dense, Flatten, Layer, MaxPool2d, Padding, Relu, Sigmoid,
-    };
+    pub use crate::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Padding, Relu, Sigmoid};
     pub use crate::loss::{BinaryCrossEntropy, DiceLoss, Loss, Mse};
     pub use crate::metrics::{binary_accuracy, confusion, dice_coefficient, BinaryConfusion};
     pub use crate::model::Sequential;

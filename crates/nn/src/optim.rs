@@ -58,7 +58,10 @@ impl Optimizer for Sgd {
             return;
         }
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.shape()))
+                .collect();
         }
         for (i, (p, g)) in params.iter_mut().enumerate() {
             let v = &mut self.velocity[i];
@@ -110,8 +113,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [ParamGrad<'_>]) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
-            self.v = params.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.shape()))
+                .collect();
         }
         self.t += 1;
         let t = self.t as f32;

@@ -19,11 +19,7 @@ use crate::tensor::Tensor;
 /// Panics if `bits` is not in `2..=16`.
 pub fn quantize_tensor(tensor: &Tensor, bits: u32) -> Tensor {
     assert!((2..=16).contains(&bits), "bits must be in 2..=16");
-    let max_abs = tensor
-        .data()
-        .iter()
-        .map(|v| v.abs())
-        .fold(0.0f32, f32::max);
+    let max_abs = tensor.data().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
     if max_abs == 0.0 {
         return tensor.clone();
     }

@@ -360,7 +360,14 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor{:?} (min {:.3}, max {:.3}, mean {:.3})", self.shape, self.min(), self.max(), self.mean())
+        write!(
+            f,
+            "Tensor{:?} (min {:.3}, max {:.3}, mean {:.3})",
+            self.shape,
+            self.min(),
+            self.max(),
+            self.mean()
+        )
     }
 }
 

@@ -118,8 +118,7 @@ impl<O: Optimizer, L: Loss> Trainer<O, L> {
                 let prediction = model.forward(&batch.inputs);
                 let target = reshape_target(&batch.targets, prediction.shape());
                 epoch_loss += self.loss.value(&prediction, &target);
-                epoch_acc +=
-                    binary_accuracy(&prediction, &target, self.config.accuracy_threshold);
+                epoch_acc += binary_accuracy(&prediction, &target, self.config.accuracy_threshold);
                 let grad = self.loss.gradient(&prediction, &target);
                 model.backward(&grad);
                 let mut params = model.params_mut();
@@ -204,7 +203,9 @@ mod tests {
     #[test]
     fn evaluate_does_not_change_weights() {
         let ds = xor_like_dataset();
-        let mut model = Sequential::new().push(Dense::new(2, 1, 5)).push(Sigmoid::new());
+        let mut model = Sequential::new()
+            .push(Dense::new(2, 1, 5))
+            .push(Sigmoid::new());
         let trainer = Trainer::new(
             Sgd::new(0.1),
             BinaryCrossEntropy::new(),
@@ -220,18 +221,16 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn training_on_empty_dataset_panics() {
         let mut model = Sequential::new().push(Dense::new(2, 1, 0));
-        let mut trainer = Trainer::new(
-            Sgd::new(0.1),
-            Mse::new(),
-            TrainingConfig::default(),
-        );
+        let mut trainer = Trainer::new(Sgd::new(0.1), Mse::new(), TrainingConfig::default());
         trainer.fit(&mut model, &Dataset::new());
     }
 
     #[test]
     fn steps_counted_correctly() {
         let ds = xor_like_dataset();
-        let mut model = Sequential::new().push(Dense::new(2, 1, 0)).push(Sigmoid::new());
+        let mut model = Sequential::new()
+            .push(Dense::new(2, 1, 0))
+            .push(Sigmoid::new());
         let mut trainer = Trainer::new(
             Sgd::new(0.1),
             BinaryCrossEntropy::new(),

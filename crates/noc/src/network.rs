@@ -58,7 +58,10 @@ impl Network {
     /// Builds a network from a configuration.
     pub fn new(config: NocConfig) -> Self {
         let mesh = config.topology();
-        let routers = mesh.nodes().map(|id| Router::new(id, &config, &mesh)).collect();
+        let routers = mesh
+            .nodes()
+            .map(|id| Router::new(id, &config, &mesh))
+            .collect();
         let n = config.node_count();
         Network {
             mesh,
@@ -348,7 +351,12 @@ impl Network {
             port.vc_mut(vc_idx).route_out = Some(d);
             d
         } else {
-            self.routers[node].input_port(dir).unwrap().vc(vc_idx).route_out.unwrap()
+            self.routers[node]
+                .input_port(dir)
+                .unwrap()
+                .vc(vc_idx)
+                .route_out
+                .unwrap()
         };
 
         // Output port contention: one flit per output per cycle.
@@ -390,9 +398,9 @@ impl Network {
                     // is missing the packet's VC was released prematurely.
                     return false;
                 }
-                let down_port = self.routers[downstream].input_port(down_dir).expect(
-                    "downstream router must have an input port facing the upstream router",
-                );
+                let down_port = self.routers[downstream]
+                    .input_port(down_dir)
+                    .expect("downstream router must have an input port facing the upstream router");
                 match down_port.free_vc() {
                     Some(v) => {
                         // Reserve it immediately so no other router grabs it
@@ -479,7 +487,10 @@ mod tests {
         net.run(200);
         assert_eq!(net.stats().packets_created, 1);
         assert_eq!(net.stats().packets_received, 1);
-        assert_eq!(net.stats().flits_received, net.config().flits_per_packet as u64);
+        assert_eq!(
+            net.stats().flits_received,
+            net.config().flits_per_packet as u64
+        );
         assert_eq!(net.stats().received_per_node[15], 1);
     }
 

@@ -74,9 +74,7 @@ impl fmt::Display for Coord {
 /// The four cardinal directions name *where the neighbour is*: a flit that
 /// arrives on the **East input port** was sent by the East neighbour
 /// (`id + 1`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Direction {
     /// Towards/from the neighbour at `id + 1`.
     East,
@@ -194,7 +192,12 @@ impl Mesh {
     ///
     /// Panics if the node is out of range.
     pub fn coord(&self, id: NodeId) -> Coord {
-        assert!(self.contains(id), "node {id} outside {}x{} mesh", self.rows, self.cols);
+        assert!(
+            self.contains(id),
+            "node {id} outside {}x{} mesh",
+            self.rows,
+            self.cols
+        );
         Coord::from_id(id, self.cols)
     }
 

@@ -1,0 +1,493 @@
+//! # serde_derive (workspace shim)
+//!
+//! Derive macros for the workspace `serde` shim's `Serialize` /
+//! `Deserialize` traits. Because the build environment has no crates.io
+//! access, this is written against the bare `proc_macro` API — the item is
+//! parsed by walking its token trees and the impls are emitted as source
+//! strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields, tuple structs (newtype included), unit
+//!   structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde);
+//! * `#[serde(skip)]` on named fields — omitted when serializing, filled
+//!   from `Default` when deserializing;
+//! * `#[serde(default)]` on named struct fields — serialized normally,
+//!   filled from the struct's `Default` instance when the field is absent
+//!   (the containing struct must implement `Default`; not supported inside
+//!   enum variants).
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model.
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes, returning `(skip, default)` flags
+/// from any `#[serde(...)]` attribute among them.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> (bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let body = g.stream().to_string();
+                if body.starts_with("serde") {
+                    if body.contains("skip") {
+                        skip = true;
+                    }
+                    if body.contains("default") {
+                        default = true;
+                    }
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (skip, default)
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens until a top-level comma (tracking `<`/`>` depth so commas
+/// inside generic arguments don't terminate the scan). Leaves `pos` on the
+/// comma or at end-of-stream.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses `name: Type, ...` named fields (attributes and visibility
+/// allowed), as found in struct bodies and struct-variant bodies.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (skip, default) = skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found `{other}`"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        // Consume the trailing comma, if any.
+        pos += 1;
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break; // Trailing comma.
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // Past the comma.
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, found `{other}`"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the variant comma.
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // Past the comma.
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Container-level `#[serde(default)]`: every missing field falls back to
+    // the struct's `Default` instance (matching real serde's semantics).
+    let (_, container_default) = skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    pos += 1;
+    // Generic parameters are not supported (nothing in the workspace derives
+    // on a generic type); fail loudly rather than generating broken code.
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let mut fields = parse_named_fields(g.stream());
+                if container_default {
+                    for field in &mut fields {
+                        field.default = true;
+                    }
+                }
+                Body::NamedStruct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// `defaults_var`, when set, names a local binding holding the struct's
+/// `Default` instance — the fallback source for `#[serde(default)]` fields.
+fn named_field_initializers(fields: &[Field], source: &str, defaults_var: Option<&str>) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::core::default::Default::default(),\n", f.name)
+            } else if f.default {
+                let defaults = defaults_var.unwrap_or_else(|| {
+                    panic!(
+                        "#[serde(default)] on field `{}` is only supported in plain structs",
+                        f.name
+                    )
+                });
+                format!(
+                    "{n}: match {source}.field(\"{n}\") {{\n\
+                         ::std::result::Result::Ok(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                         ::std::result::Result::Err(_) => {defaults}.{n},\n\
+                     }},\n",
+                    n = f.name
+                )
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::from_value({source}.field(\"{n}\")?)?,\n",
+                    n = f.name
+                )
+            }
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            // `#[serde(default)]` fields fall back to the struct's own
+            // `Default` instance, so a missing field gets the same value a
+            // default-constructed struct carries (not the field type's
+            // zero-ish default).
+            let prelude = if fields.iter().any(|f| f.default) {
+                format!("let __defaults: {name} = ::core::default::Default::default();\n")
+            } else {
+                String::new()
+            };
+            format!(
+                "{prelude}::std::result::Result::Ok({name} {{\n{}}})",
+                named_field_initializers(fields, "__value", Some("__defaults"))
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                         ::std::format!(\"expected {n}-element array for {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                                     ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                     ::std::format!(\"expected {n}-element array for {name}::{vn}, found {{}}\", __other.kind()))),\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n{}}}),\n",
+                        named_field_initializers(fields, "__inner", None)
+                    )),
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                             ::std::format!(\"unknown unit variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                         ::std::format!(\"expected a {name} variant, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -56,7 +56,10 @@ impl FloodingAttack {
     /// Panics if `fir` is outside `[0, 1]`, `attackers` is empty, or the
     /// victim is listed as an attacker.
     pub fn new(attackers: Vec<NodeId>, victim: NodeId, fir: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fir), "FIR must be in [0, 1], got {fir}");
+        assert!(
+            (0.0..=1.0).contains(&fir),
+            "FIR must be in [0, 1], got {fir}"
+        );
         assert!(!attackers.is_empty(), "at least one attacker is required");
         assert!(
             !attackers.contains(&victim),
@@ -180,7 +183,10 @@ mod tests {
         };
         let low = run(0.1);
         let high = run(0.8);
-        assert!(high > 3 * low, "FIR 0.8 ({high}) should flood far more than 0.1 ({low})");
+        assert!(
+            high > 3 * low,
+            "FIR 0.8 ({high}) should flood far more than 0.1 ({low})"
+        );
     }
 
     #[test]

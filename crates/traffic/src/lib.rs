@@ -43,8 +43,8 @@ pub mod payload;
 pub mod scenario;
 
 pub use fdos::FloodingAttack;
-pub use payload::PayloadFloodingAttack;
 pub use generator::{BernoulliInjector, TrafficGenerator};
 pub use parsec::{ParsecPhase, ParsecWorkload};
 pub use pattern::SyntheticPattern;
+pub use payload::PayloadFloodingAttack;
 pub use scenario::{AttackScenario, AttackScenarioBuilder, BenignWorkload};

@@ -245,10 +245,7 @@ mod tests {
                 g.inject(&mut net, c);
                 net.step();
             }
-            assert!(
-                net.stats().packets_created > 0,
-                "{w} generated no packets"
-            );
+            assert!(net.stats().packets_created > 0, "{w} generated no packets");
             assert!(net.stats().packets_received > 0);
         }
     }

@@ -14,11 +14,13 @@ use noc_traffic::{BenignWorkload, SyntheticPattern};
 fn main() {
     let mesh = 8;
     println!("1. Collecting a training dataset ({mesh}x{mesh} mesh, flooding at FIR 0.8)...");
-    let train = quick_dataset(mesh, 6, 4);
+    // Enough placement diversity that the detector generalizes to attack
+    // routes it has not seen (the corner attack analysed below).
+    let train = quick_dataset(mesh, 14, 7);
     println!("   {} labeled monitoring windows collected", train.len());
 
     println!("2. Training the DL2Fence detector (VCO) and localizer (BOC)...");
-    let mut fence = Dl2Fence::new(FenceConfig::new(mesh, mesh).with_epochs(40, 40));
+    let mut fence = Dl2Fence::new(FenceConfig::new(mesh, mesh).with_epochs(60, 40));
     let report = fence.train(&train);
     println!(
         "   detector final training accuracy: {:.2}",
@@ -47,6 +49,11 @@ fn main() {
     );
     println!(
         "   ground-truth victims: {:?}",
-        fresh[0].truth.victims.iter().map(|v| v.0).collect::<Vec<_>>()
+        fresh[0]
+            .truth
+            .victims
+            .iter()
+            .map(|v| v.0)
+            .collect::<Vec<_>>()
     );
 }

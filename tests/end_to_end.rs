@@ -28,7 +28,7 @@ fn trained_fence_generalizes_to_unseen_attack_placements() {
     // Unseen placements.
     let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02);
     let generator = DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
-    let test_specs = vec![
+    let test_specs = [
         ScenarioSpec::attacked(workload, vec![NodeId(61)], NodeId(5), 0.8),
         ScenarioSpec::attacked(workload, vec![NodeId(8)], NodeId(15), 0.8),
         ScenarioSpec::benign(workload),
@@ -64,9 +64,8 @@ fn boc_localization_is_at_least_as_good_as_vco_localization() {
     let train = quick_dataset(mesh, 6, 3);
     let test = {
         let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02);
-        let generator =
-            DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
-        let specs = vec![
+        let generator = DatasetGenerator::new(CollectionConfig::quick(NocConfig::mesh(mesh, mesh)));
+        let specs = [
             ScenarioSpec::attacked(workload, vec![NodeId(62)], NodeId(1), 0.8),
             ScenarioSpec::attacked(workload, vec![NodeId(16)], NodeId(23), 0.8),
         ];
@@ -78,7 +77,9 @@ fn boc_localization_is_at_least_as_good_as_vco_localization() {
     };
 
     let run = |localization_feature| {
-        let mut config = FenceConfig::new(mesh, mesh).with_epochs(30, 40).with_seed(3);
+        let mut config = FenceConfig::new(mesh, mesh)
+            .with_epochs(30, 40)
+            .with_seed(3);
         config.detection_feature = FeatureKind::Vco;
         config.localization_feature = localization_feature;
         let mut fence = Dl2Fence::new(config);
@@ -100,7 +101,11 @@ fn boc_localization_is_at_least_as_good_as_vco_localization() {
 fn benign_windows_do_not_produce_mass_false_localization() {
     let mesh = 8;
     let train = quick_dataset(mesh, 5, 5);
-    let mut fence = Dl2Fence::new(FenceConfig::new(mesh, mesh).with_epochs(40, 30).with_seed(21));
+    let mut fence = Dl2Fence::new(
+        FenceConfig::new(mesh, mesh)
+            .with_epochs(40, 30)
+            .with_seed(21),
+    );
     fence.train(&train);
 
     let workload = BenignWorkload::Synthetic(SyntheticPattern::Tornado, 0.02);

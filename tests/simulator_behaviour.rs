@@ -66,7 +66,10 @@ fn attack_route_dominates_boc_frames() {
     let east = boc.frame(noc_sim::Direction::East);
     let max_pixel = boc.max_value();
     let row0_max = (0..7).map(|x| east.get(x, 0)).fold(0.0f32, f32::max);
-    assert_eq!(row0_max, max_pixel, "the attack route must carry the hottest pixel");
+    assert_eq!(
+        row0_max, max_pixel,
+        "the attack route must carry the hottest pixel"
+    );
 }
 
 /// PARSEC-like workloads are much less traffic-intensive than the synthetic
@@ -82,7 +85,10 @@ fn parsec_is_sparser_than_stp_at_scale() {
         scenario.network().stats().packets_created
     };
     let parsec = run(BenignWorkload::Parsec(ParsecWorkload::X264));
-    let stp = run(BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.02));
+    let stp = run(BenignWorkload::Synthetic(
+        SyntheticPattern::UniformRandom,
+        0.02,
+    ));
     assert!(
         parsec * 2 < stp,
         "PARSEC-like traffic ({parsec}) should be well below STP ({stp})"
@@ -104,7 +110,10 @@ fn all_stp_patterns_run_on_16x16() {
             stats.packets_received > 0,
             "{pattern} delivered no packets on 16x16"
         );
-        assert!(stats.delivery_ratio() > 0.5, "{pattern} delivery ratio too low");
+        assert!(
+            stats.delivery_ratio() > 0.5,
+            "{pattern} delivery ratio too low"
+        );
     }
 }
 
