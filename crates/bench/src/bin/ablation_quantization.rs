@@ -2,22 +2,37 @@
 //! fixed-point weights; this experiment measures how much detection accuracy
 //! the trained detector loses when its weights are quantized to various bit
 //! widths.
+//!
+//! The sample-collection campaign is declarative —
+//! `specs/ablation_quantization.toml`, embedded at compile time — and runs
+//! on the campaign engine's worker pool; the binary then trains the float
+//! detector on the spec's train split and re-scores it per precision.
 
 use dl2fence::{DosDetector, FenceConfig};
-use dl2fence_bench::{collect_split, stp_workloads, ExperimentScale};
+use dl2fence_bench::load_spec_scaled;
+use dl2fence_campaign::{split_by_benchmark, Executor};
 use noc_monitor::FeatureKind;
 use tinycnn::quantize::quantize_model;
 use tinycnn::BinaryConfusion;
 
+const SPEC_TOML: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../specs/ablation_quantization.toml"
+));
+
 fn main() {
-    let scale = ExperimentScale::from_env();
-    let mesh = scale.stp_mesh;
+    let spec = load_spec_scaled(SPEC_TOML);
+    let mesh = spec.grid.mesh[0];
+    let seed = spec.grid.seeds[0];
     println!("Ablation — detector weight quantization ({mesh}x{mesh} mesh)");
-    let (train, test) = collect_split(&stp_workloads(&scale), mesh, &scale);
+    let outcome = Executor::with_available_parallelism()
+        .execute(&spec)
+        .expect("ablation campaign must be valid");
+    let (train, test) = split_by_benchmark(outcome.runs, spec.eval.train_fraction);
 
     let config = FenceConfig::new(mesh, mesh);
     let mut detector = DosDetector::new(mesh, mesh, config.seed);
-    detector.train(&train, FeatureKind::Vco, scale.detector_epochs, scale.seed);
+    detector.train(&train, FeatureKind::Vco, spec.eval.detector_epochs, seed);
     let export = detector.export();
 
     println!(

@@ -4,16 +4,25 @@
 //! showing the reconstructed attack route and the per-example localization
 //! accuracy / precision / recall.
 //!
-//! The quick configuration shrinks the mesh to 8×8 with analogous attacker
-//! placements; `--full` uses the paper's 16×16 placements.
+//! The training campaign is declarative — `specs/fig4_localization.toml`,
+//! embedded at compile time, with enough attack placements that straight
+//! and L-shaped routes in every direction are represented — and runs on the
+//! campaign engine's worker pool. The quick configuration uses an 8×8 mesh
+//! with analogous attacker placements; `--full` rescales the spec to the
+//! paper's 16×16 placements.
 
 use dl2fence::evaluation::evaluate;
 use dl2fence::{Dl2Fence, FenceConfig};
-use dl2fence_bench::{collect_split, ExperimentScale};
+use dl2fence_bench::load_spec_scaled;
+use dl2fence_campaign::{parse_feature, split_by_benchmark, Executor};
 use noc_monitor::dataset::{CollectionConfig, DatasetGenerator, ScenarioSpec};
-use noc_monitor::FeatureKind;
 use noc_sim::{NocConfig, NodeId};
 use noc_traffic::{BenignWorkload, SyntheticPattern};
+
+const SPEC_TOML: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../specs/fig4_localization.toml"
+));
 
 fn render_map(victims: &[NodeId], attackers: &[NodeId], rows: usize, cols: usize) -> String {
     let mut out = String::new();
@@ -36,10 +45,12 @@ fn render_map(victims: &[NodeId], attackers: &[NodeId], rows: usize, cols: usize
 }
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    let mesh = scale.stp_mesh;
+    let spec = load_spec_scaled(SPEC_TOML);
+    let mesh = spec.grid.mesh[0];
+    let seed = spec.grid.seeds[0];
+    let fir = spec.grid.fir[0];
     let workload =
-        BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, scale.stp_injection_rate);
+        BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, spec.grid.injection_rate);
 
     // The two example placements of Figure 4, scaled to the mesh in use.
     let (single, double) = if mesh >= 16 {
@@ -55,43 +66,44 @@ fn main() {
         )
     };
 
-    // Train a fence on the standard STP dataset, with extra attack placements
-    // so both straight and L-shaped routes in every direction are represented.
+    // Train a fence on the spec's campaign (uniform traffic with extra
+    // attack placements), using the spec's split and feature assignment.
     println!(
         "Figure 4 — localization examples on a {mesh}x{mesh} mesh (training the models first)..."
     );
-    let mut train_scale = scale.clone();
-    train_scale.attacks_per_benchmark = train_scale.attacks_per_benchmark.max(12);
-    train_scale.benign_runs = train_scale.benign_runs.max(4);
-    let (train, _) = collect_split(&[workload], mesh, &train_scale);
+    let outcome = Executor::with_available_parallelism()
+        .execute(&spec)
+        .expect("fig4 campaign must be valid");
+    let (train, _) = split_by_benchmark(outcome.runs, spec.eval.train_fraction);
     let mut config = FenceConfig::new(mesh, mesh)
-        .with_seed(scale.seed)
-        .with_epochs(scale.detector_epochs, scale.localizer_epochs);
-    config.detection_feature = FeatureKind::Vco;
-    config.localization_feature = FeatureKind::Boc;
+        .with_seed(seed)
+        .with_epochs(spec.eval.detector_epochs, spec.eval.localizer_epochs);
+    config.detection_feature =
+        parse_feature(&spec.eval.detection_feature).expect("embedded spec feature is valid");
+    config.localization_feature =
+        parse_feature(&spec.eval.localization_feature).expect("embedded spec feature is valid");
     let mut fence = Dl2Fence::new(config);
     fence.train(&train);
 
     // Collect the two example scenarios and analyse them.
     let collection = CollectionConfig {
         noc: NocConfig::mesh(mesh, mesh),
-        warmup_cycles: scale.warmup_cycles,
-        sample_period: scale.sample_period,
+        warmup_cycles: spec.sim.warmup_cycles,
+        sample_period: spec.sim.sample_period,
         samples_per_run: 1,
-        seed: scale.seed + 99,
+        seed: seed + 99,
     };
     let generator = DatasetGenerator::new(collection);
     for (label, (attackers, victim)) in [("Single attacker", single), ("Two attackers", double)] {
-        let spec = ScenarioSpec::attacked(workload, attackers.clone(), victim, scale.fir);
-        let samples = generator.collect_run(&spec, scale.seed + 7);
+        let scenario = ScenarioSpec::attacked(workload, attackers.clone(), victim, fir);
+        let samples = generator.collect_run(&scenario, seed + 7);
         let sample = &samples[0];
         let report = fence.analyze(sample);
         let metrics = evaluate(&mut fence, &samples);
         println!();
         println!(
-            "{label}: attackers {:?} -> victim {victim} (FIR {})",
+            "{label}: attackers {:?} -> victim {victim} (FIR {fir})",
             attackers.iter().map(|a| a.0).collect::<Vec<_>>(),
-            scale.fir
         );
         println!(
             "  detected: {} (p = {:.3})",

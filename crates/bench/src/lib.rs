@@ -99,16 +99,55 @@ impl ExperimentScale {
     /// Chooses quick or full from the process arguments / environment
     /// (`--full` or `DL2FENCE_FULL=1`).
     pub fn from_env() -> Self {
-        let full = std::env::args().any(|a| a == "--full")
-            || std::env::var("DL2FENCE_FULL")
-                .map(|v| v == "1")
-                .unwrap_or(false);
-        if full {
+        if full_requested() {
             Self::full()
         } else {
             Self::quick()
         }
     }
+}
+
+/// Whether the process arguments / environment ask for the paper-scale
+/// configuration (`--full` or `DL2FENCE_FULL=1`).
+pub fn full_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+        || std::env::var("DL2FENCE_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// Overrides a declarative campaign spec with an [`ExperimentScale`]'s
+/// knobs — how the spec-driven binaries implement `--full`: the quick
+/// configuration lives in the `specs/*.toml` file, and the paper-scale one
+/// is the same spec rescaled.
+pub fn apply_scale(spec: &mut CampaignSpec, scale: &ExperimentScale) {
+    let collect = spec.sim.collect_samples;
+    spec.sim = sim_params(scale);
+    spec.sim.collect_samples = collect;
+    spec.grid.mesh = vec![scale.stp_mesh];
+    spec.grid.fir = vec![scale.fir];
+    spec.grid.attack_placements = scale.attacks_per_benchmark;
+    spec.grid.benign_runs = scale.benign_runs;
+    spec.grid.seeds = vec![scale.seed];
+    spec.grid.injection_rate = scale.stp_injection_rate;
+    spec.eval.train_fraction = scale.train_fraction;
+    spec.eval.detector_epochs = scale.detector_epochs;
+    spec.eval.localizer_epochs = scale.localizer_epochs;
+}
+
+/// Loads one of the workspace's embedded `specs/*.toml` campaign specs,
+/// applying the paper-scale overrides when `--full` / `DL2FENCE_FULL=1` is
+/// set.
+///
+/// # Panics
+///
+/// Panics if the embedded spec does not parse — a build-time asset bug.
+pub fn load_spec_scaled(embedded_toml: &str) -> CampaignSpec {
+    let mut spec = CampaignSpec::from_toml(embedded_toml).expect("embedded spec must be valid");
+    if full_requested() {
+        apply_scale(&mut spec, &ExperimentScale::full());
+    }
+    spec
 }
 
 /// The six synthetic-traffic-pattern benchmarks at the scale's injection
@@ -162,28 +201,11 @@ pub fn collect_split(
     });
     let runs = runs_from_scenarios(scale.seed, mesh, scenarios);
     let results = Executor::with_available_parallelism().execute_runs(&sim_params(scale), &runs);
-    // Group the samples per benchmark (moving, not cloning — the frame
-    // bundles dominate memory at paper scale), then apply the engine's
-    // shared deterministic train/test interleave per benchmark so both
-    // classes and all attack placements appear on both sides.
-    let mut by_workload: Vec<(String, Vec<LabeledSample>)> =
-        workloads.iter().map(|w| (w.name(), Vec::new())).collect();
-    for result in results {
-        if let Some((_, samples)) = by_workload
-            .iter_mut()
-            .find(|(name, _)| *name == result.spec.workload)
-        {
-            samples.extend(result.samples);
-        }
-    }
-    let mut train = Vec::new();
-    let mut test = Vec::new();
-    for (_, samples) in by_workload {
-        let (tr, te) = dl2fence_campaign::report::split_samples(samples, scale.train_fraction);
-        train.extend(tr);
-        test.extend(te);
-    }
-    (train, test)
+    // The engine's shared per-benchmark deterministic train/test interleave:
+    // samples move (not clone — the frame bundles dominate memory at paper
+    // scale) and both classes and all attack placements appear on both
+    // sides.
+    dl2fence_campaign::split_by_benchmark(results, scale.train_fraction)
 }
 
 /// The result of one table experiment: the evaluation reports of the STP and

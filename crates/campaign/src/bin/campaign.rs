@@ -1,13 +1,17 @@
-//! The `campaign` CLI: expand, run and inspect declarative scenario
+//! The `campaign` CLI: expand, run, resume and inspect declarative scenario
 //! campaigns.
 //!
 //! ```text
 //! campaign expand <spec.toml|spec.json>
-//! campaign run    <spec.toml|spec.json> [--workers N] [--out report.json] [--quiet]
+//! campaign run    <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
+//! campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
 //! campaign report <report.json>
 //! ```
 
-use dl2fence_campaign::{expand, CampaignReport, CampaignSpec, Executor};
+use dl2fence_campaign::stream::run_streaming_expanded;
+use dl2fence_campaign::{
+    expand, resume, spec_fingerprint, CampaignOutcome, CampaignReport, CampaignSpec, Executor,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -16,10 +20,17 @@ const USAGE: &str = "\
 usage:
   campaign expand <spec.toml|spec.json>
       Print the expanded run matrix as JSON (one run per line).
-  campaign run <spec.toml|spec.json> [--workers N] [--out FILE] [--quiet]
-      Execute the campaign and print (or write) the aggregated JSON report.
+  campaign run <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
+      Execute the campaign. Without --out the aggregated JSON report goes to
+      stdout; with --out DIR every finished run is streamed to DIR/runs.jsonl
+      as it completes and the report lands in DIR/report.json (a DIR ending
+      in .json is treated as a plain report file instead).
       --workers defaults to the machine's available parallelism.
-  campaign report <report.json>
+  campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
+      Resume an interrupted `run --out` campaign: verify the stored spec
+      fingerprint (and PATH's, when given), re-execute only the missing run
+      indices, and rebuild a report byte-identical to an uninterrupted run.
+  campaign report <report.json|campaign-dir>
       Render a saved report as a human-readable table.
 ";
 
@@ -39,9 +50,57 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("expand") => cmd_expand(args.get(1).ok_or("expand needs a spec path")?),
         Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("report") => cmd_report(args.get(1).ok_or("report needs a report path")?),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
+    }
+}
+
+/// Shared flags of the executing subcommands (`run` / `resume`).
+#[derive(Debug, Default)]
+struct ExecFlags {
+    path: Option<String>,
+    spec: Option<String>,
+    workers: Option<usize>,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl ExecFlags {
+    fn parse(args: &[String], allow_out: bool, allow_spec: bool) -> Result<Self, String> {
+        let mut flags = ExecFlags::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--workers" => {
+                    let v = it.next().ok_or("--workers needs a value")?;
+                    flags.workers = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("invalid worker count `{v}`"))?,
+                    );
+                }
+                "--out" if allow_out => {
+                    flags.out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?));
+                }
+                "--spec" if allow_spec => {
+                    flags.spec = Some(it.next().ok_or("--spec needs a path")?.clone());
+                }
+                "--quiet" => flags.quiet = true,
+                other if !other.starts_with('-') && flags.path.is_none() => {
+                    flags.path = Some(other.to_string());
+                }
+                other => return Err(format!("unexpected argument `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn executor(&self) -> Executor {
+        match self.workers {
+            Some(n) => Executor::new(n),
+            None => Executor::with_available_parallelism(),
+        }
     }
 }
 
@@ -63,49 +122,76 @@ fn cmd_expand(path: &str) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let mut spec_path: Option<&str> = None;
-    let mut workers: Option<usize> = None;
-    let mut out: Option<PathBuf> = None;
-    let mut quiet = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--workers" => {
-                let v = it.next().ok_or("--workers needs a value")?;
-                workers = Some(
-                    v.parse::<usize>()
-                        .map_err(|_| format!("invalid worker count `{v}`"))?,
-                );
-            }
-            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
-            "--quiet" => quiet = true,
-            other if !other.starts_with('-') && spec_path.is_none() => {
-                spec_path = Some(other);
-            }
-            other => return Err(format!("unexpected argument `{other}`")),
-        }
-    }
-    let spec = load_spec(spec_path.ok_or("run needs a spec path")?)?;
-    let executor = match workers {
-        Some(n) => Executor::new(n),
-        None => Executor::with_available_parallelism(),
-    };
+    let flags = ExecFlags::parse(args, true, false)?;
+    let spec = load_spec(flags.path.as_deref().ok_or("run needs a spec path")?)?;
+    let executor = flags.executor();
     let runs = expand(&spec).map_err(|e| e.to_string())?;
-    if !quiet {
+    if !flags.quiet {
         eprintln!(
-            "campaign `{}`: {} runs on {} workers...",
+            "campaign `{}` (fingerprint {}): {} runs on {} workers...",
             spec.name,
+            spec_fingerprint(&spec),
             runs.len(),
             executor.workers()
         );
     }
     let started = Instant::now();
-    let results = executor.execute_runs(&spec.sim, &runs);
-    let outcome = dl2fence_campaign::CampaignOutcome {
-        spec,
-        runs: results,
+    let (report, written_to) = match &flags.out {
+        // A .json path keeps the original single-file behaviour; anything
+        // else is a campaign directory that streams runs.jsonl.
+        Some(path) if path.extension().and_then(|e| e.to_str()) != Some("json") => {
+            let report =
+                run_streaming_expanded(&executor, &spec, &runs, path).map_err(|e| e.to_string())?;
+            (report, Some(path.join("report.json")))
+        }
+        _ => {
+            let results = executor.execute_runs(&spec.sim, &runs);
+            let outcome = CampaignOutcome {
+                spec,
+                runs: results,
+            };
+            let report =
+                CampaignReport::build_with(&outcome, &executor).map_err(|e| e.to_string())?;
+            if let Some(path) = &flags.out {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+            (report, flags.out.clone())
+        }
     };
-    let report = CampaignReport::build(&outcome).map_err(|e| e.to_string())?;
+    finish(&report, started, written_to.as_deref(), flags.quiet);
+    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let flags = ExecFlags::parse(args, false, true)?;
+    let dir = flags
+        .path
+        .as_deref()
+        .ok_or("resume needs a campaign directory")?;
+    let expected = match &flags.spec {
+        Some(path) => Some(load_spec(path)?),
+        None => None,
+    };
+    let executor = flags.executor();
+    if !flags.quiet {
+        eprintln!(
+            "resuming campaign in {dir} on {} workers...",
+            executor.workers()
+        );
+    }
+    let started = Instant::now();
+    let report = resume(&executor, dir, expected.as_ref()).map_err(|e| e.to_string())?;
+    finish(
+        &report,
+        started,
+        Some(&Path::new(dir).join("report.json")),
+        flags.quiet,
+    );
+    Ok(())
+}
+
+fn finish(report: &CampaignReport, started: Instant, written_to: Option<&Path>, quiet: bool) {
     let elapsed = started.elapsed();
     if !quiet {
         eprintln!(
@@ -115,22 +201,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             report.total_runs as f64 / elapsed.as_secs_f64().max(1e-9)
         );
     }
-    let json = report.to_json();
-    match out {
+    match written_to {
         Some(path) => {
-            std::fs::write(&path, &json)
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             if !quiet {
                 eprintln!("report written to {}", path.display());
             }
         }
-        None => println!("{json}"),
+        None => println!("{}", report.to_json()),
     }
-    Ok(())
 }
 
 fn cmd_report(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Accept either a report file or a campaign directory.
+    let file = if Path::new(path).is_dir() {
+        Path::new(path).join("report.json")
+    } else {
+        PathBuf::from(path)
+    };
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
     let report = CampaignReport::from_json(&text).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     Ok(())

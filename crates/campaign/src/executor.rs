@@ -42,7 +42,11 @@ pub struct RunMetrics {
 
 /// One finished run: its spec, measurements and (optionally) the labeled
 /// monitoring-window samples for the evaluation phase.
-#[derive(Debug, Clone)]
+///
+/// Serializes losslessly (floats use shortest round-trip formatting), which
+/// is what lets [`crate::stream`] persist results as JSONL records and
+/// rebuild a byte-identical report on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// The run that was executed.
     pub spec: RunSpec,
@@ -157,42 +161,153 @@ impl Executor {
     /// Executes an already expanded run matrix, returning results in matrix
     /// order.
     pub fn execute_runs(&self, sim: &SimParams, runs: &[RunSpec]) -> Vec<RunResult> {
-        if runs.is_empty() {
-            return Vec::new();
+        self.execute_runs_with(sim, runs, |_| {})
+    }
+
+    /// Executes a run matrix, invoking `observer` on the calling thread for
+    /// each result **as it completes** — in completion order, not matrix
+    /// order — before returning all results reassembled in matrix order.
+    ///
+    /// This is the hook the streaming layer ([`crate::stream`]) uses to
+    /// append each finished run to a campaign directory the moment it
+    /// exists, so a killed campaign loses at most the runs still in flight.
+    pub fn execute_runs_with(
+        &self,
+        sim: &SimParams,
+        runs: &[RunSpec],
+        mut observer: impl FnMut(&RunResult),
+    ) -> Vec<RunResult> {
+        self.run_jobs_with(
+            runs,
+            |run| execute_run(sim, run),
+            |_, result| observer(result),
+        )
+    }
+
+    /// [`Self::execute_runs_with`] with an abortable observer: returning
+    /// `false` stops scheduling new runs, drains the pool and yields `None`.
+    ///
+    /// The streaming layer aborts this way when a disk write fails, so a
+    /// full disk one run into a week-long campaign does not burn the
+    /// remaining compute on results that can no longer be persisted.
+    pub fn try_execute_runs_with(
+        &self,
+        sim: &SimParams,
+        runs: &[RunSpec],
+        mut observer: impl FnMut(&RunResult) -> bool,
+    ) -> Option<Vec<RunResult>> {
+        self.try_run_jobs_with(
+            runs,
+            |run| execute_run(sim, run),
+            |_, result| observer(result),
+        )
+    }
+
+    /// Runs arbitrary independent jobs on the worker pool, returning results
+    /// in job order regardless of the worker count.
+    ///
+    /// This is the generic pool behind both run execution and the parallel
+    /// eval phase: workers pull job indices from a shared atomic counter and
+    /// results are slotted back by index.
+    pub fn run_jobs<T, R>(&self, jobs: &[T], job: impl Fn(&T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.run_jobs_with(jobs, job, |_, _| {})
+    }
+
+    /// [`Self::run_jobs`] plus a completion observer invoked on the calling
+    /// thread, in completion order, with each `(job index, result)` pair.
+    pub fn run_jobs_with<T, R>(
+        &self,
+        jobs: &[T],
+        job: impl Fn(&T) -> R + Sync,
+        mut observer: impl FnMut(usize, &R),
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.try_run_jobs_with(jobs, job, |i, r| {
+            observer(i, r);
+            true
+        })
+        .expect("an always-continue observer cannot abort")
+    }
+
+    /// [`Self::run_jobs_with`] with an abortable observer: returning `false`
+    /// stops scheduling new jobs, drains the pool (in-flight jobs finish and
+    /// are discarded) and yields `None`.
+    pub fn try_run_jobs_with<T, R>(
+        &self,
+        jobs: &[T],
+        job: impl Fn(&T) -> R + Sync,
+        mut observer: impl FnMut(usize, &R) -> bool,
+    ) -> Option<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if jobs.is_empty() {
+            return Some(Vec::new());
         }
-        let workers = self.workers.min(runs.len());
+        let workers = self.workers.min(jobs.len());
         if workers == 1 {
-            return runs.iter().map(|r| execute_run(sim, r)).collect();
+            let mut results = Vec::with_capacity(jobs.len());
+            for (i, j) in jobs.iter().enumerate() {
+                let result = job(j);
+                let keep_going = observer(i, &result);
+                results.push(result);
+                if !keep_going {
+                    return None;
+                }
+            }
+            return Some(results);
         }
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
-        let mut slots: Vec<Option<RunResult>> = (0..runs.len()).map(|_| None).collect();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+        let mut aborted = false;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let job = &job;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= runs.len() {
+                    if i >= jobs.len() {
                         break;
                     }
-                    let result = execute_run(sim, &runs[i]);
+                    let result = job(&jobs[i]);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            // Streamed aggregation: slot results as they arrive instead of
-            // buffering channel messages until the end.
+            // Streamed aggregation: observe and slot results as they arrive
+            // instead of buffering channel messages until the end.
             for (i, result) in rx {
+                if !observer(i, &result) {
+                    // Abort: stop handing out new job indices and drop the
+                    // receiver so in-flight senders unblock and drain.
+                    aborted = true;
+                    next.store(jobs.len(), Ordering::Relaxed);
+                    break;
+                }
                 slots[i] = Some(result);
             }
         });
-        slots
-            .into_iter()
-            .map(|r| r.expect("every run index is executed exactly once"))
-            .collect()
+        if aborted {
+            return None;
+        }
+        Some(
+            slots
+                .into_iter()
+                .map(|r| r.expect("every job index is executed exactly once"))
+                .collect(),
+        )
     }
 }
 
@@ -237,6 +352,30 @@ mod tests {
         for (s, p) in serial.runs.iter().zip(&parallel.runs) {
             assert_eq!(s.spec, p.spec);
             assert_eq!(s.metrics, p.metrics);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_result_exactly_once() {
+        let spec = tiny_spec();
+        let runs = grid::expand(&spec).unwrap();
+        for workers in [1, 4] {
+            let mut seen = Vec::new();
+            let results = Executor::new(workers).execute_runs_with(&spec.sim, &runs, |r| {
+                seen.push(r.spec.index);
+            });
+            assert_eq!(results.len(), runs.len());
+            seen.sort_unstable();
+            assert_eq!(seen, (0..runs.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_jobs_returns_results_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 3, 16] {
+            assert_eq!(Executor::new(workers).run_jobs(&jobs, |&j| j * j), expected);
         }
     }
 

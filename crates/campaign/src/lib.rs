@@ -17,12 +17,18 @@
 //!    output**.
 //! 4. **Aggregated reports** — [`CampaignReport`] groups per-run
 //!    measurements by declarative keys and serializes as deterministic
-//!    JSON; an optional train/evaluate phase reproduces the paper's
-//!    table-style detection/localization metrics.
+//!    JSON; an optional train/evaluate phase (fanned out over the same
+//!    worker pool) reproduces the paper's table-style detection/
+//!    localization metrics.
+//! 5. **Streaming & resume** — [`stream`] persists every finished run as a
+//!    JSONL record in a campaign directory the moment it completes, and
+//!    [`resume`] re-executes only the missing run indices after a crash,
+//!    rebuilding a byte-identical report (the stored [`spec_fingerprint`]
+//!    guards against mixing results from different specs).
 //!
 //! The `campaign` binary exposes the engine on the command line
-//! (`expand` / `run` / `report`), and the benchmark harness's table and
-//! figure binaries are built on top of it.
+//! (`expand` / `run` / `resume` / `report`), and the benchmark harness's
+//! table and figure binaries are built on top of it.
 //!
 //! ## Quick example
 //!
@@ -56,11 +62,13 @@ pub mod grid;
 pub mod minitoml;
 pub mod report;
 pub mod spec;
+pub mod stream;
 
 pub use executor::{execute_run, CampaignOutcome, Executor, RunMetrics, RunResult};
 pub use grid::{derive_run_seed, expand, runs_from_scenarios, RunSpec};
-pub use report::{CampaignReport, EvalEntry, GroupSummary};
+pub use report::{split_by_benchmark, CampaignReport, EvalEntry, GroupSummary};
 pub use spec::{
     parse_feature, parse_workload, validate_group_by, CampaignSpec, EvalSpec, GridSpec, ReportSpec,
     SimParams, SpecError,
 };
+pub use stream::{resume, run_streaming, spec_fingerprint, CampaignDir, Manifest, ScanOutcome};

@@ -7,7 +7,7 @@
 //! through the order-preserving `serde` value tree — so a report rendered
 //! from a 16-worker campaign is byte-identical to the serial one.
 
-use crate::executor::{CampaignOutcome, RunResult};
+use crate::executor::{CampaignOutcome, Executor, RunResult};
 use crate::spec::{parse_feature, SpecError};
 use dl2fence::evaluation::evaluate;
 use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
@@ -84,17 +84,33 @@ pub struct CampaignReport {
 
 impl CampaignReport {
     /// Builds the report of a finished campaign, running the evaluation
-    /// phase if the spec enables it.
+    /// phase (on every available core) if the spec enables it.
     ///
     /// # Errors
     ///
     /// Returns a [`SpecError`] if the eval phase is enabled but its
     /// configuration is invalid.
     pub fn build(outcome: &CampaignOutcome) -> Result<Self, SpecError> {
+        Self::build_with(outcome, &Executor::with_available_parallelism())
+    }
+
+    /// [`Self::build`] with an explicit worker pool for the eval phase.
+    ///
+    /// Per-mesh-group training jobs are independent (each trains its own
+    /// DL2Fence instance from its own spec-derived seed), so they fan out
+    /// over `executor` and are reassembled in group order — the entries are
+    /// byte-identical for any worker count, including the serial
+    /// `Executor::new(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the eval phase is enabled but its
+    /// configuration is invalid.
+    pub fn build_with(outcome: &CampaignOutcome, executor: &Executor) -> Result<Self, SpecError> {
         let group_by = outcome.spec.report.group_by.clone();
         let groups = group_runs(&outcome.runs, &group_by);
         let evaluations = if outcome.spec.eval.enabled {
-            run_eval_phase(outcome)?
+            run_eval_phase(outcome, executor)?
         } else {
             Vec::new()
         };
@@ -295,10 +311,58 @@ pub fn split_samples(
     (train, test)
 }
 
+/// One prepared per-mesh eval job: everything a worker needs to train and
+/// score one DL2Fence instance, with no shared mutable state.
+struct EvalJob {
+    mesh: usize,
+    seed: u64,
+    train: Vec<LabeledSample>,
+    test: Vec<LabeledSample>,
+}
+
+/// Splits executed runs' samples into train/test sets per benchmark (groups
+/// by workload name in first-seen run order, then applies [`split_samples`]
+/// within each group), so every benchmark and attack placement contributes
+/// to both sides.
+///
+/// This is the collection half of the table-style experiments, shared by
+/// the eval phase's callers and the bench harness.
+pub fn split_by_benchmark(
+    results: Vec<RunResult>,
+    train_fraction: f64,
+) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
+    let mut by_workload: Vec<(String, Vec<LabeledSample>)> = Vec::new();
+    for result in results {
+        match by_workload
+            .iter_mut()
+            .find(|(name, _)| *name == result.spec.workload)
+        {
+            Some((_, samples)) => samples.extend(result.samples),
+            None => by_workload.push((result.spec.workload, result.samples)),
+        }
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (_, samples) in by_workload {
+        let (tr, te) = split_samples(samples, train_fraction);
+        train.extend(tr);
+        test.extend(te);
+    }
+    (train, test)
+}
+
 /// The evaluation phase: per mesh size, split the collected samples, train
 /// one DL2Fence instance over the whole benchmark group (the paper's
 /// protocol) and evaluate it on the held-out set, broken down per benchmark.
-fn run_eval_phase(outcome: &CampaignOutcome) -> Result<Vec<EvalEntry>, SpecError> {
+///
+/// Groups are prepared serially (cheap), then the expensive train/evaluate
+/// jobs fan out over `executor`'s worker pool so the eval phase no longer
+/// serializes the tail of a campaign. Jobs are independent and reassembled
+/// in group order, so the entries are identical for any worker count.
+fn run_eval_phase(
+    outcome: &CampaignOutcome,
+    executor: &Executor,
+) -> Result<Vec<EvalEntry>, SpecError> {
     let eval = &outcome.spec.eval;
     let detection = parse_feature(&eval.detection_feature)?;
     let localization = parse_feature(&eval.localization_feature)?;
@@ -316,7 +380,7 @@ fn run_eval_phase(outcome: &CampaignOutcome) -> Result<Vec<EvalEntry>, SpecError
         }
     }
 
-    let mut entries = Vec::new();
+    let mut jobs = Vec::new();
     for (mesh, members) in order.into_iter().zip(buckets) {
         let samples: Vec<LabeledSample> = members
             .iter()
@@ -334,22 +398,29 @@ fn run_eval_phase(outcome: &CampaignOutcome) -> Result<Vec<EvalEntry>, SpecError
                  lower eval.train_fraction or add runs"
             )));
         }
-        let seed = members[0].spec.campaign_seed;
-        let mut config = FenceConfig::new(mesh, mesh)
-            .with_seed(seed)
+        jobs.push(EvalJob {
+            mesh,
+            seed: members[0].spec.campaign_seed,
+            train,
+            test,
+        });
+    }
+
+    Ok(executor.run_jobs(&jobs, |job| {
+        let mut config = FenceConfig::new(job.mesh, job.mesh)
+            .with_seed(job.seed)
             .with_epochs(eval.detector_epochs, eval.localizer_epochs);
         config.detection_feature = detection;
         config.localization_feature = localization;
         let mut fence = Dl2Fence::new(config);
-        fence.train(&train);
-        entries.push(EvalEntry {
-            mesh,
-            train_samples: train.len(),
-            test_samples: test.len(),
-            report: evaluate(&mut fence, &test),
-        });
-    }
-    Ok(entries)
+        fence.train(&job.train);
+        EvalEntry {
+            mesh: job.mesh,
+            train_samples: job.train.len(),
+            test_samples: job.test.len(),
+            report: evaluate(&mut fence, &job.test),
+        }
+    }))
 }
 
 #[cfg(test)]

@@ -1,0 +1,593 @@
+//! Streaming, resumable campaign execution.
+//!
+//! A long-running campaign streams every finished run to a **campaign
+//! directory** as it completes, making the campaign crash-durable: kill it
+//! at any point and [`resume`] picks up where the log ends. (Report
+//! building still materializes all results in memory — incremental
+//! aggregation for truly bigger-than-memory campaigns is a ROADMAP item;
+//! the durable, index-tagged record format here is the groundwork.)
+//!
+//! ```text
+//! <dir>/manifest.json   campaign name, spec fingerprint, run count, spec
+//! <dir>/runs.jsonl      one JSONL record per finished run, appended as
+//!                       results complete (index-tagged, any order)
+//! <dir>/report.json     the final aggregated report (written last)
+//! ```
+//!
+//! Workers append each [`RunResult`] the moment it finishes, so a killed
+//! campaign loses at most the runs still in flight. [`resume`] scans the
+//! JSONL, verifies the stored [`spec_fingerprint`], re-executes only the
+//! missing run indices and rebuilds the report — byte-identical to an
+//! uninterrupted run, because every run's seed derives from the spec alone
+//! and results are reassembled in matrix order either way.
+
+use crate::executor::{CampaignOutcome, Executor, RunResult};
+use crate::grid::{self, RunSpec};
+use crate::report::CampaignReport;
+use crate::spec::{CampaignSpec, SpecError};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File name of the campaign manifest inside a campaign directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// File name of the streamed per-run JSONL log.
+pub const RUNS_FILE: &str = "runs.jsonl";
+/// File name of the final aggregated report.
+pub const REPORT_FILE: &str = "report.json";
+
+/// The fingerprint of a campaign spec: FNV-1a 64 over its canonical JSON
+/// serialization, rendered as 16 hex digits.
+///
+/// Two specs share a fingerprint exactly when they serialize identically, so
+/// a stored fingerprint pins the whole run matrix (grid, seeds, sim
+/// parameters, report grouping and eval configuration).
+pub fn spec_fingerprint(spec: &CampaignSpec) -> String {
+    let canonical = serde_json::to_string(spec).expect("spec serialization cannot fail");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// The manifest stored at the root of a campaign directory: enough to
+/// resume the campaign with no other input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Campaign name (duplicated from the spec for quick inspection).
+    pub name: String,
+    /// [`spec_fingerprint`] of the embedded spec.
+    pub fingerprint: String,
+    /// Size of the expanded run matrix.
+    pub total_runs: usize,
+    /// The full campaign spec.
+    pub spec: CampaignSpec,
+}
+
+/// What a scan of `runs.jsonl` found.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Parsed results slotted by run index (`None` where no record exists).
+    pub results: Vec<Option<RunResult>>,
+    /// Whether the final line was an unparseable partial record (the
+    /// expected shape of a crash mid-append); it is ignored and its run
+    /// index re-executed.
+    pub truncated_tail: bool,
+    /// Byte length of the longest prefix of the log made of whole, valid
+    /// records — what [`resume`] truncates the file to before appending, so
+    /// a torn tail record can never merge with the next append.
+    pub valid_bytes: u64,
+}
+
+impl ScanOutcome {
+    /// Finished run count.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// The run indices with no stored record, in matrix order.
+    pub fn missing_indices(&self) -> Vec<usize> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .collect()
+    }
+}
+
+/// A campaign directory: the on-disk home of one streaming campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignDir {
+    root: PathBuf,
+}
+
+impl CampaignDir {
+    /// Initializes a fresh campaign directory for `spec` (whose run matrix
+    /// has `total_runs` entries — the caller already expanded it), creating
+    /// `root` (and parents) and writing the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the spec fails validation, the directory
+    /// already holds a campaign, or the manifest cannot be written.
+    pub fn create(
+        root: impl Into<PathBuf>,
+        spec: &CampaignSpec,
+        total_runs: usize,
+    ) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let root = root.into();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(SpecError::new(format!(
+                "{} already contains a campaign manifest; use `campaign resume` \
+                 or choose a fresh directory",
+                root.display()
+            )));
+        }
+        std::fs::create_dir_all(&root)
+            .map_err(|e| SpecError::new(format!("cannot create {}: {e}", root.display())))?;
+        let manifest = Manifest {
+            name: spec.name.clone(),
+            fingerprint: spec_fingerprint(spec),
+            total_runs,
+            spec: spec.clone(),
+        };
+        let text =
+            serde_json::to_string_pretty(&manifest).expect("manifest serialization cannot fail");
+        std::fs::write(&manifest_path, text).map_err(|e| {
+            SpecError::new(format!("cannot write {}: {e}", manifest_path.display()))
+        })?;
+        Ok(CampaignDir { root })
+    }
+
+    /// Opens an existing campaign directory (the manifest must exist).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if `root` holds no campaign manifest.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, SpecError> {
+        let root = root.into();
+        if !root.join(MANIFEST_FILE).exists() {
+            return Err(SpecError::new(format!(
+                "{} is not a campaign directory (no {MANIFEST_FILE})",
+                root.display()
+            )));
+        }
+        Ok(CampaignDir { root })
+    }
+
+    /// The directory's root path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path of the streamed JSONL run log.
+    pub fn runs_path(&self) -> PathBuf {
+        self.root.join(RUNS_FILE)
+    }
+
+    /// The path of the final report.
+    pub fn report_path(&self) -> PathBuf {
+        self.root.join(REPORT_FILE)
+    }
+
+    /// Reads and self-checks the manifest (the stored fingerprint must match
+    /// the embedded spec — a mismatch means the manifest was edited).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on a missing, malformed or self-inconsistent
+    /// manifest.
+    pub fn manifest(&self) -> Result<Manifest, SpecError> {
+        let path = self.root.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+        let manifest: Manifest = serde_json::from_str(&text)
+            .map_err(|e| SpecError::new(format!("malformed manifest {}: {e}", path.display())))?;
+        let expected = spec_fingerprint(&manifest.spec);
+        if manifest.fingerprint != expected {
+            return Err(SpecError::new(format!(
+                "manifest fingerprint {} does not match its own spec (expected {expected}); \
+                 the campaign directory is corrupt",
+                manifest.fingerprint
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Appends one finished run to `runs.jsonl`, flushing the line so a
+    /// crash after this call cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the record cannot be written.
+    pub fn append_result(&self, writer: &mut File, result: &RunResult) -> Result<(), SpecError> {
+        let mut line = serde_json::to_string(result).expect("run serialization cannot fail");
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| {
+                SpecError::new(format!(
+                    "cannot append to {}: {e}",
+                    self.runs_path().display()
+                ))
+            })
+    }
+
+    /// Opens `runs.jsonl` for appending (creating it if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the file cannot be opened.
+    pub fn open_runs_for_append(&self) -> Result<File, SpecError> {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.runs_path())
+            .map_err(|e| SpecError::new(format!("cannot open {}: {e}", self.runs_path().display())))
+    }
+
+    /// Scans `runs.jsonl` against the expanded run matrix, slotting every
+    /// stored record by index.
+    ///
+    /// A missing file means an empty scan (campaign killed before its first
+    /// record). An unparseable **final** line is tolerated as a crash-
+    /// truncated partial record; anything unparseable earlier, an
+    /// out-of-range index, or a stored record whose run spec disagrees with
+    /// the matrix is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first corrupt record.
+    pub fn scan(&self, runs: &[RunSpec]) -> Result<ScanOutcome, SpecError> {
+        let path = self.runs_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                return Err(SpecError::new(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        // Segments keep their trailing newline so byte offsets stay exact.
+        let segments: Vec<&str> = text.split_inclusive('\n').collect();
+        let last_content = segments.iter().rposition(|s| !s.trim().is_empty());
+        let mut results: Vec<Option<RunResult>> = (0..runs.len()).map(|_| None).collect();
+        let mut truncated_tail = false;
+        let mut offset = 0u64;
+        let mut valid_bytes = 0u64;
+        for (n, segment) in segments.iter().enumerate() {
+            offset += segment.len() as u64;
+            let line = segment.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let record: RunResult = match serde_json::from_str(line) {
+                Ok(record) => record,
+                Err(e) if Some(n) == last_content => {
+                    // A crash mid-append leaves exactly one partial final
+                    // line; drop it and re-execute that run.
+                    let _ = e;
+                    truncated_tail = true;
+                    continue;
+                }
+                Err(e) => {
+                    return Err(SpecError::new(format!(
+                        "corrupt record on line {} of {}: {e}",
+                        n + 1,
+                        path.display()
+                    )))
+                }
+            };
+            let index = record.spec.index;
+            let Some(expected) = runs.get(index) else {
+                return Err(SpecError::new(format!(
+                    "record on line {} of {} has run index {index}, but the campaign \
+                     expands to {} runs",
+                    n + 1,
+                    path.display(),
+                    runs.len()
+                )));
+            };
+            if record.spec != *expected {
+                return Err(SpecError::new(format!(
+                    "record on line {} of {} disagrees with the spec's run matrix at \
+                     index {index}; the run log belongs to a different campaign",
+                    n + 1,
+                    path.display()
+                )));
+            }
+            valid_bytes = offset;
+            // Duplicate indices can only hold identical payloads (runs are
+            // deterministic), so first-wins is safe.
+            if results[index].is_none() {
+                results[index] = Some(record);
+            }
+        }
+        Ok(ScanOutcome {
+            results,
+            truncated_tail,
+            valid_bytes,
+        })
+    }
+
+    /// Truncates `runs.jsonl` to `valid_bytes` — called by [`resume`] when a
+    /// scan found a torn tail record, so the next append starts on a fresh
+    /// line instead of merging into the partial one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the file cannot be truncated.
+    pub fn truncate_runs_to(&self, valid_bytes: u64) -> Result<(), SpecError> {
+        let path = self.runs_path();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .and_then(|file| file.set_len(valid_bytes))
+            .map_err(|e| SpecError::new(format!("cannot truncate {}: {e}", path.display())))
+    }
+
+    /// Writes the final report atomically (temp file + rename), so a crash
+    /// can never leave a partial `report.json` masquerading as complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the report cannot be written.
+    pub fn write_report(&self, report: &CampaignReport) -> Result<(), SpecError> {
+        let tmp = self.root.join(".report.json.tmp");
+        std::fs::write(&tmp, report.to_json())
+            .map_err(|e| SpecError::new(format!("cannot write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, self.report_path()).map_err(|e| {
+            SpecError::new(format!(
+                "cannot finalize {}: {e}",
+                self.report_path().display()
+            ))
+        })
+    }
+}
+
+/// Executes `spec` streaming into a fresh campaign directory at `root`:
+/// every finished run is appended to `runs.jsonl` as it completes, and the
+/// final report lands in `report.json`.
+///
+/// The returned report is byte-identical to [`Executor::execute`] +
+/// [`CampaignReport::build`] on the same spec.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on an invalid spec, an already-initialized
+/// directory, or any I/O failure.
+pub fn run_streaming(
+    executor: &Executor,
+    spec: &CampaignSpec,
+    root: impl Into<PathBuf>,
+) -> Result<CampaignReport, SpecError> {
+    let runs = grid::expand(spec)?;
+    run_streaming_expanded(executor, spec, &runs, root)
+}
+
+/// [`run_streaming`] over an already expanded run matrix (callers that
+/// expanded the grid for their own bookkeeping — e.g. the CLI's progress
+/// line — avoid paying for expansion twice).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on an invalid spec, an already-initialized
+/// directory, or any I/O failure.
+pub fn run_streaming_expanded(
+    executor: &Executor,
+    spec: &CampaignSpec,
+    runs: &[RunSpec],
+    root: impl Into<PathBuf>,
+) -> Result<CampaignReport, SpecError> {
+    let dir = CampaignDir::create(root, spec, runs.len())?;
+    let mut writer = dir.open_runs_for_append()?;
+    let results = stream_missing(executor, spec, runs, &dir, &mut writer)?;
+    finalize(executor, &dir, spec, results)
+}
+
+/// Executes `pending` runs, appending each result as it completes; a failed
+/// append aborts the pool (in-flight runs finish and are discarded) so a
+/// full disk cannot burn the rest of a long campaign on unpersistable work.
+fn stream_missing(
+    executor: &Executor,
+    spec: &CampaignSpec,
+    pending: &[RunSpec],
+    dir: &CampaignDir,
+    writer: &mut File,
+) -> Result<Vec<RunResult>, SpecError> {
+    let mut write_error: Option<SpecError> = None;
+    let results = executor.try_execute_runs_with(&spec.sim, pending, |result| {
+        match dir.append_result(writer, result) {
+            Ok(()) => true,
+            Err(e) => {
+                write_error = Some(e);
+                false
+            }
+        }
+    });
+    match (results, write_error) {
+        (Some(results), None) => Ok(results),
+        (_, Some(e)) => Err(e),
+        (None, None) => unreachable!("pool aborts only after a write error"),
+    }
+}
+
+/// Resumes the campaign stored at `root`: verifies the manifest fingerprint
+/// (against `expected_spec` too, when given), re-executes only the run
+/// indices with no stored JSONL record, appends them, and rebuilds the
+/// report — byte-identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the directory is missing or corrupt, or if
+/// `expected_spec` fingerprints differently from the stored spec (no silent
+/// partial reuse across spec changes).
+pub fn resume(
+    executor: &Executor,
+    root: impl Into<PathBuf>,
+    expected_spec: Option<&CampaignSpec>,
+) -> Result<CampaignReport, SpecError> {
+    let dir = CampaignDir::open(root)?;
+    let manifest = dir.manifest()?;
+    if let Some(expected) = expected_spec {
+        let given = spec_fingerprint(expected);
+        if given != manifest.fingerprint {
+            return Err(SpecError::new(format!(
+                "spec fingerprint mismatch: the campaign directory was created from \
+                 fingerprint {}, but the given spec fingerprints as {given}; refusing \
+                 to mix results from different campaigns",
+                manifest.fingerprint
+            )));
+        }
+    }
+    let spec = manifest.spec;
+    let runs = grid::expand(&spec)?;
+    if runs.len() != manifest.total_runs {
+        return Err(SpecError::new(format!(
+            "manifest records {} runs but the spec expands to {}; the campaign \
+             directory is corrupt",
+            manifest.total_runs,
+            runs.len()
+        )));
+    }
+    let scan = dir.scan(&runs)?;
+    let missing = scan.missing_indices();
+    let mut results = scan.results;
+    if !missing.is_empty() {
+        if scan.truncated_tail {
+            // Drop the torn record so the next append starts a fresh line
+            // — otherwise the first re-executed record merges into the
+            // partial one and corrupts the log for every later resume.
+            dir.truncate_runs_to(scan.valid_bytes)?;
+        }
+        let pending: Vec<RunSpec> = missing.iter().map(|&i| runs[i].clone()).collect();
+        let mut writer = dir.open_runs_for_append()?;
+        let fresh = stream_missing(executor, &spec, &pending, &dir, &mut writer)?;
+        for result in fresh {
+            let index = result.spec.index;
+            results[index] = Some(result);
+        }
+    }
+    let results: Vec<RunResult> = results
+        .into_iter()
+        .map(|r| r.expect("every run index is stored or re-executed"))
+        .collect();
+    finalize(executor, &dir, &spec, results)
+}
+
+/// Builds the final report (eval phase on the pool) and persists it.
+fn finalize(
+    executor: &Executor,
+    dir: &CampaignDir,
+    spec: &CampaignSpec,
+    results: Vec<RunResult>,
+) -> Result<CampaignReport, SpecError> {
+    let outcome = CampaignOutcome {
+        spec: spec.clone(),
+        runs: results,
+    };
+    let report = CampaignReport::build_with(&outcome, executor)?;
+    dir.write_report(&report)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::quick("stream-tiny");
+        spec.grid.mesh = vec![4];
+        spec.grid.fir = vec![0.8];
+        spec.grid.workloads = vec!["uniform".into()];
+        spec.grid.attack_placements = 2;
+        spec.grid.benign_runs = 1;
+        spec.grid.seeds = vec![11];
+        spec.sim.warmup_cycles = 50;
+        spec.sim.sample_period = 150;
+        spec.sim.samples_per_run = 1;
+        spec
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("dl2fence-stream-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let spec = tiny_spec();
+        assert_eq!(spec_fingerprint(&spec), spec_fingerprint(&spec));
+        let mut other = spec.clone();
+        other.grid.seeds = vec![12];
+        assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&other));
+    }
+
+    #[test]
+    fn create_refuses_an_initialized_directory() {
+        let root = temp_root("create");
+        let spec = tiny_spec();
+        let total = grid::expand(&spec).unwrap().len();
+        CampaignDir::create(&root, &spec, total).unwrap();
+        let err = CampaignDir::create(&root, &spec, total).unwrap_err();
+        assert!(err.to_string().contains("already contains"), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn streaming_run_writes_every_record_and_the_report() {
+        let root = temp_root("full");
+        let spec = tiny_spec();
+        let report = run_streaming(&Executor::new(2), &spec, &root).unwrap();
+        assert_eq!(report.total_runs, 3);
+        let jsonl = std::fs::read_to_string(root.join(RUNS_FILE)).unwrap();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert_eq!(
+            std::fs::read_to_string(root.join(REPORT_FILE)).unwrap(),
+            report.to_json()
+        );
+        // A completed campaign resumes with nothing to do, byte-identically.
+        let resumed = resume(&Executor::new(3), &root, Some(&spec)).unwrap();
+        assert_eq!(resumed.to_json(), report.to_json());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scan_tolerates_only_a_truncated_final_line() {
+        let root = temp_root("scan");
+        let spec = tiny_spec();
+        run_streaming(&Executor::new(1), &spec, &root).unwrap();
+        let dir = CampaignDir::open(&root).unwrap();
+        let runs = grid::expand(&spec).unwrap();
+        let full = std::fs::read_to_string(dir.runs_path()).unwrap();
+        let mut lines: Vec<&str> = full.lines().collect();
+
+        // Chop the final record mid-line: tolerated, index re-listed, and
+        // valid_bytes points at the end of the last whole record.
+        let tail = lines.pop().unwrap();
+        let whole = format!("{}\n", lines.join("\n"));
+        let truncated = format!("{whole}{}", &tail[..tail.len() / 2]);
+        std::fs::write(dir.runs_path(), truncated).unwrap();
+        let scan = dir.scan(&runs).unwrap();
+        assert!(scan.truncated_tail);
+        assert_eq!(scan.missing_indices(), vec![runs.len() - 1]);
+        assert_eq!(scan.valid_bytes, whole.len() as u64);
+
+        // The same garbage mid-file is corruption, not a crash artifact.
+        let garbled = format!("{}\n{}\n{}\n", &tail[..tail.len() / 2], lines[0], tail);
+        std::fs::write(dir.runs_path(), garbled).unwrap();
+        let err = dir.scan(&runs).unwrap_err();
+        assert!(err.to_string().contains("corrupt record"), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

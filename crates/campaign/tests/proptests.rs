@@ -1,0 +1,246 @@
+//! Property tests of the spec and streaming codecs: TOML/JSON spec
+//! round-trips over arbitrary grids, lossless RunResult JSONL
+//! encode/decode, and resume-after-arbitrary-prefix scan recovery.
+
+use dl2fence_campaign::stream::{CampaignDir, RUNS_FILE};
+use dl2fence_campaign::{
+    expand, resume, run_streaming, spec_fingerprint, CampaignSpec, Executor, RunResult,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const WORKLOADS: [&str; 6] = [
+    "uniform",
+    "tornado",
+    "shuffle",
+    "bit-complement",
+    "blackscholes",
+    "x264",
+];
+const GROUP_KEYS: [&str; 6] = ["workload", "fir", "mesh", "seed", "attackers", "class"];
+
+/// Builds a valid spec from drawn raw values (the strategy surface the
+/// proptest shim offers is integer/float ranges, so enumerations are picked
+/// by index).
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    mesh_a: usize,
+    mesh_b: usize,
+    fir_pct: u64,
+    workload_i: usize,
+    workload_j: usize,
+    placements: usize,
+    benign: usize,
+    seed: u64,
+    inj_ppm: u64,
+    key_i: usize,
+) -> CampaignSpec {
+    let mut spec = CampaignSpec::quick(format!("prop-{seed}"));
+    spec.grid.mesh = if mesh_a == mesh_b {
+        vec![mesh_a]
+    } else {
+        vec![mesh_a, mesh_b]
+    };
+    spec.grid.fir = vec![fir_pct as f64 / 100.0];
+    spec.grid.workloads = if workload_i == workload_j {
+        vec![WORKLOADS[workload_i].to_string()]
+    } else {
+        vec![
+            WORKLOADS[workload_i].to_string(),
+            WORKLOADS[workload_j].to_string(),
+        ]
+    };
+    spec.grid.attack_placements = placements;
+    spec.grid.benign_runs = benign;
+    spec.grid.seeds = vec![seed];
+    spec.grid.injection_rate = inj_ppm as f64 / 1_000_000.0;
+    spec.report.group_by = vec![GROUP_KEYS[key_i].to_string()];
+    spec
+}
+
+/// Renders the drawn grid as TOML (there is no TOML serializer in the
+/// offline shim set, so the round-trip is text → spec → JSON → spec).
+fn spec_toml(spec: &CampaignSpec) -> String {
+    let mesh: Vec<String> = spec.grid.mesh.iter().map(|m| m.to_string()).collect();
+    let workloads: Vec<String> = spec
+        .grid
+        .workloads
+        .iter()
+        .map(|w| format!("{w:?}"))
+        .collect();
+    format!(
+        "name = {:?}\n[grid]\nmesh = [{}]\nfir = [{}]\nworkloads = [{}]\n\
+         attack_placements = {}\nbenign_runs = {}\nseeds = [{}]\ninjection_rate = {}\n\
+         [report]\ngroup_by = [{:?}]\n",
+        spec.name,
+        mesh.join(", "),
+        spec.grid.fir[0],
+        workloads.join(", "),
+        spec.grid.attack_placements,
+        spec.grid.benign_runs,
+        spec.grid.seeds[0],
+        spec.grid.injection_rate,
+        spec.report.group_by[0],
+    )
+}
+
+/// One executed tiny campaign, shared by the JSONL and resume properties so
+/// no property pays for simulation 256 times.
+fn seed_results() -> &'static (CampaignSpec, Vec<RunResult>) {
+    static SEED: OnceLock<(CampaignSpec, Vec<RunResult>)> = OnceLock::new();
+    SEED.get_or_init(|| {
+        let mut spec = CampaignSpec::quick("prop-seed");
+        spec.grid.mesh = vec![4];
+        spec.grid.fir = vec![0.8];
+        spec.grid.workloads = vec!["uniform".into()];
+        spec.grid.attack_placements = 3;
+        spec.grid.benign_runs = 2;
+        spec.grid.seeds = vec![0xBADC0DE];
+        spec.sim.warmup_cycles = 50;
+        spec.sim.sample_period = 100;
+        spec.sim.samples_per_run = 2;
+        spec.sim.collect_samples = true;
+        let outcome = Executor::new(2).execute(&spec).unwrap();
+        (spec, outcome.runs)
+    })
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dl2fence-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+proptest! {
+    #[test]
+    fn spec_round_trips_through_toml_and_json(
+        mesh_a in 2usize..12,
+        mesh_b in 2usize..12,
+        fir_pct in 1u64..101,
+        workload_i in 0usize..6,
+        workload_j in 0usize..6,
+        placements in 1usize..5,
+        benign in 0usize..4,
+        seed in 0u64..1_000_000_000_000,
+        inj_ppm in 1u64..200_000,
+        key_i in 0usize..6,
+    ) {
+        let spec = build_spec(
+            mesh_a, mesh_b, fir_pct, workload_i, workload_j, placements,
+            benign, seed, inj_ppm, key_i,
+        );
+        prop_assert!(spec.validate().is_ok(), "drawn spec must be valid");
+
+        // TOML text → spec: every drawn field survives the parse.
+        let from_toml = CampaignSpec::from_toml(&spec_toml(&spec))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(&from_toml.grid, &spec.grid);
+        prop_assert_eq!(&from_toml.report.group_by, &spec.report.group_by);
+
+        // spec → JSON → spec is the identity, and the fingerprint pins it.
+        let json = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
+        let back = CampaignSpec::from_json(&json).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(spec_fingerprint(&back), spec_fingerprint(&spec));
+
+        // The expansion contract: dense in-order indices, spec-derived seeds.
+        let runs = expand(&spec).map_err(|e| e.to_string())?;
+        for (i, run) in runs.iter().enumerate() {
+            prop_assert_eq!(run.index, i);
+            prop_assert_eq!(
+                run.run_seed,
+                dl2fence_campaign::derive_run_seed(run.campaign_seed, i)
+            );
+        }
+    }
+
+    #[test]
+    fn run_result_jsonl_record_round_trips_losslessly(
+        case in 0usize..5,
+        latency_bits in 0u64..u64::MAX,
+        energy_bits in 0u64..u64::MAX,
+        packets in 0u64..u64::MAX,
+    ) {
+        // Real simulator output (frames included) with adversarial float
+        // payloads grafted in: any finite f64 bit pattern must survive the
+        // JSONL text codec bit-for-bit.
+        let (_, results) = seed_results();
+        let mut result = results[case % results.len()].clone();
+        let graft = |bits: u64| {
+            let f = f64::from_bits(bits);
+            if f.is_finite() { f } else { bits as f64 / 7.0 }
+        };
+        result.metrics.packet_latency = graft(latency_bits);
+        result.metrics.energy_nj = graft(energy_bits);
+        result.metrics.packets_created = packets;
+
+        let line = serde_json::to_string(&result).map_err(|e| e.to_string())?;
+        prop_assert!(!line.contains('\n'), "a JSONL record is one line");
+        let back: RunResult = serde_json::from_str(&line).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&back, &result);
+        // Idempotent re-encode: scan+append cycles cannot drift.
+        prop_assert_eq!(serde_json::to_string(&back).map_err(|e| e.to_string())?, line);
+    }
+
+    #[test]
+    fn scan_recovers_exactly_the_missing_indices_after_any_prefix(
+        keep in 0usize..9,
+        chop in 1usize..40,
+    ) {
+        let (spec, results) = seed_results();
+        let runs = expand(spec).map_err(|e| e.to_string())?;
+        let keep = keep.min(results.len());
+
+        let root = temp_root("scan");
+        let dir = CampaignDir::create(&root, spec, results.len()).map_err(|e| e.to_string())?;
+        let mut jsonl = String::new();
+        for result in &results[..keep] {
+            jsonl.push_str(&serde_json::to_string(result).map_err(|e| e.to_string())?);
+            jsonl.push('\n');
+        }
+        if keep < results.len() {
+            // A crash-truncated partial record of the next run.
+            let next = serde_json::to_string(&results[keep]).map_err(|e| e.to_string())?;
+            jsonl.push_str(&next[..chop.min(next.len() - 1)]);
+        }
+        std::fs::write(dir.runs_path(), &jsonl).map_err(|e| e.to_string())?;
+
+        let scan = dir.scan(&runs).map_err(|e| e.to_string())?;
+        prop_assert_eq!(scan.completed(), keep);
+        prop_assert_eq!(
+            scan.missing_indices(),
+            (keep..results.len()).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&root).map_err(|e| e.to_string())?;
+    }
+}
+
+/// Full resume equality over every possible prefix length — the executable
+/// complement of the scan property (kept out of the 256-case proptest loop
+/// because each resume re-runs real simulations).
+#[test]
+fn resume_after_every_prefix_matches_the_uninterrupted_report() {
+    let (spec, results) = seed_results();
+    let full_root = temp_root("resume-full");
+    let reference = run_streaming(&Executor::new(2), spec, &full_root)
+        .unwrap()
+        .to_json();
+    std::fs::remove_dir_all(&full_root).unwrap();
+
+    for keep in 0..=results.len() {
+        let root = temp_root(&format!("resume-{keep}"));
+        let dir = CampaignDir::create(&root, spec, results.len()).unwrap();
+        let mut jsonl = String::new();
+        for result in &results[..keep] {
+            jsonl.push_str(&serde_json::to_string(result).unwrap());
+            jsonl.push('\n');
+        }
+        std::fs::write(root.join(RUNS_FILE), &jsonl).unwrap();
+        drop(dir);
+
+        let report = resume(&Executor::new(3), &root, Some(spec)).unwrap();
+        assert_eq!(report.to_json(), reference, "prefix {keep} diverged");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

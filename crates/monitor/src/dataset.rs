@@ -75,7 +75,7 @@ impl ScenarioSpec {
 
 /// One labeled observation: the VCO and BOC frame bundles sampled at the end
 /// of a monitoring window, plus the ground truth of the run they came from.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LabeledSample {
     /// VCO frames at the sampling instant.
     pub vco: DirectionalFrames,
