@@ -1,16 +1,19 @@
-//! The `campaign` CLI: expand, run, resume and inspect declarative scenario
-//! campaigns.
+//! The `campaign` CLI: expand, run, resume, shard, merge and inspect
+//! declarative scenario campaigns.
 //!
 //! ```text
 //! campaign expand <spec.toml|spec.json>
 //! campaign run    <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
 //! campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
+//! campaign shard  <spec.toml|spec.json> --shards N --index I --out DIR
+//! campaign merge  <dir>... --out DIR [--workers N] [--quiet]
 //! campaign report <report.json>
 //! ```
 
-use dl2fence_campaign::stream::run_streaming_expanded;
+use dl2fence_campaign::stream::{run_shard_expanded, run_streaming_expanded};
 use dl2fence_campaign::{
-    expand, resume, spec_fingerprint, CampaignOutcome, CampaignReport, CampaignSpec, Executor,
+    expand, merge, resume, spec_fingerprint, CampaignOutcome, CampaignReport, CampaignSpec,
+    Executor, ShardSlice,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -27,9 +30,20 @@ usage:
       in .json is treated as a plain report file instead).
       --workers defaults to the machine's available parallelism.
   campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
-      Resume an interrupted `run --out` campaign: verify the stored spec
-      fingerprint (and PATH's, when given), re-execute only the missing run
-      indices, and rebuild a report byte-identical to an uninterrupted run.
+      Resume an interrupted `run --out` or `shard` campaign: verify the
+      stored spec fingerprint (and PATH's, when given), re-execute only the
+      missing run indices, and — for whole-campaign directories — rebuild a
+      report byte-identical to an uninterrupted run.
+  campaign shard <spec.toml|spec.json> --shards N --index I --out DIR
+                 [--workers W] [--quiet]
+      Execute shard I of N: the run indices congruent to I modulo N, streamed
+      to an ordinary campaign directory whose manifest records the slice.
+      Run one shard per machine, collect the directories, then `merge`.
+  campaign merge <dir>... --out DIR [--workers N] [--quiet]
+      Merge shard directories sharing one spec fingerprint into DIR: the
+      union of their run logs (identical duplicates dedupe; gaps and
+      conflicts are refused) plus a report.json byte-identical to an
+      uninterrupted single-machine run.
   campaign report <report.json|campaign-dir>
       Render a saved report as a human-readable table.
 ";
@@ -51,24 +65,35 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("expand") => cmd_expand(args.get(1).ok_or("expand needs a spec path")?),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("report") => cmd_report(args.get(1).ok_or("report needs a report path")?),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
     }
 }
 
-/// Shared flags of the executing subcommands (`run` / `resume`).
+/// Shared flags of the executing subcommands (`run`/`resume`/`shard`/
+/// `merge`). Positional arguments collect into `paths` (`run`, `resume` and
+/// `shard` use exactly one; `merge` takes any number of input directories).
 #[derive(Debug, Default)]
 struct ExecFlags {
-    path: Option<String>,
+    paths: Vec<String>,
     spec: Option<String>,
     workers: Option<usize>,
     out: Option<PathBuf>,
+    shards: Option<usize>,
+    index: Option<usize>,
     quiet: bool,
 }
 
 impl ExecFlags {
-    fn parse(args: &[String], allow_out: bool, allow_spec: bool) -> Result<Self, String> {
+    fn parse(
+        args: &[String],
+        allow_out: bool,
+        allow_spec: bool,
+        allow_shard: bool,
+    ) -> Result<Self, String> {
         let mut flags = ExecFlags::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -86,14 +111,36 @@ impl ExecFlags {
                 "--spec" if allow_spec => {
                     flags.spec = Some(it.next().ok_or("--spec needs a path")?.clone());
                 }
+                "--shards" if allow_shard => {
+                    let v = it.next().ok_or("--shards needs a value")?;
+                    flags.shards = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("invalid shard count `{v}`"))?,
+                    );
+                }
+                "--index" if allow_shard => {
+                    let v = it.next().ok_or("--index needs a value")?;
+                    flags.index = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("invalid shard index `{v}`"))?,
+                    );
+                }
                 "--quiet" => flags.quiet = true,
-                other if !other.starts_with('-') && flags.path.is_none() => {
-                    flags.path = Some(other.to_string());
+                other if !other.starts_with('-') => {
+                    flags.paths.push(other.to_string());
                 }
                 other => return Err(format!("unexpected argument `{other}`")),
             }
         }
         Ok(flags)
+    }
+
+    fn single_path(&self, what: &str) -> Result<&str, String> {
+        match self.paths.as_slice() {
+            [path] => Ok(path),
+            [] => Err(format!("{what} needs a path")),
+            _ => Err(format!("{what} takes exactly one path")),
+        }
     }
 
     fn executor(&self) -> Executor {
@@ -122,8 +169,8 @@ fn cmd_expand(path: &str) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, true, false)?;
-    let spec = load_spec(flags.path.as_deref().ok_or("run needs a spec path")?)?;
+    let flags = ExecFlags::parse(args, true, false, false)?;
+    let spec = load_spec(flags.single_path("run")?)?;
     let executor = flags.executor();
     let runs = expand(&spec).map_err(|e| e.to_string())?;
     if !flags.quiet {
@@ -164,11 +211,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, false, true)?;
-    let dir = flags
-        .path
-        .as_deref()
-        .ok_or("resume needs a campaign directory")?;
+    let flags = ExecFlags::parse(args, false, true, false)?;
+    let dir = flags.single_path("resume")?;
     let expected = match &flags.spec {
         Some(path) => Some(load_spec(path)?),
         None => None,
@@ -181,11 +225,85 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         );
     }
     let started = Instant::now();
-    let report = resume(&executor, dir, expected.as_ref()).map_err(|e| e.to_string())?;
+    match resume(&executor, dir, expected.as_ref()).map_err(|e| e.to_string())? {
+        Some(report) => finish(
+            &report,
+            started,
+            Some(&Path::new(dir).join("report.json")),
+            flags.quiet,
+        ),
+        // A shard directory: runs are complete, but a shard builds no
+        // report — that is merge's job.
+        None => {
+            if !flags.quiet {
+                eprintln!(
+                    "shard in {dir} is complete ({:.2}s); merge the shards to build the report",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    let flags = ExecFlags::parse(args, true, false, true)?;
+    let spec = load_spec(flags.single_path("shard")?)?;
+    let shard = ShardSlice {
+        index: flags.index.ok_or("shard needs --index I")?,
+        count: flags.shards.ok_or("shard needs --shards N")?,
+    };
+    let out = flags.out.clone().ok_or("shard needs --out DIR")?;
+    let executor = flags.executor();
+    let runs = expand(&spec).map_err(|e| e.to_string())?;
+    if !flags.quiet {
+        eprintln!(
+            "campaign `{}` (fingerprint {}): shard {}/{} on {} workers...",
+            spec.name,
+            spec_fingerprint(&spec),
+            shard.index,
+            shard.count,
+            executor.workers()
+        );
+    }
+    let started = Instant::now();
+    let executed =
+        run_shard_expanded(&executor, &spec, &runs, shard, &out).map_err(|e| e.to_string())?;
+    if !flags.quiet {
+        eprintln!(
+            "shard {}/{}: {executed} of {} runs streamed to {} in {:.2}s",
+            shard.index,
+            shard.count,
+            runs.len(),
+            out.display(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let flags = ExecFlags::parse(args, true, false, false)?;
+    if flags.paths.is_empty() {
+        return Err("merge needs at least one shard directory".to_string());
+    }
+    let out = flags.out.clone().ok_or("merge needs --out DIR")?;
+    let inputs: Vec<PathBuf> = flags.paths.iter().map(PathBuf::from).collect();
+    let executor = flags.executor();
+    if !flags.quiet {
+        eprintln!(
+            "merging {} campaign director{} into {}...",
+            inputs.len(),
+            if inputs.len() == 1 { "y" } else { "ies" },
+            out.display()
+        );
+    }
+    let started = Instant::now();
+    let report = merge(&executor, &inputs, &out).map_err(|e| e.to_string())?;
     finish(
         &report,
         started,
-        Some(&Path::new(dir).join("report.json")),
+        Some(&out.join("report.json")),
         flags.quiet,
     );
     Ok(())

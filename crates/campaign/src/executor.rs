@@ -168,9 +168,9 @@ impl Executor {
     /// each result **as it completes** — in completion order, not matrix
     /// order — before returning all results reassembled in matrix order.
     ///
-    /// This is the hook the streaming layer ([`crate::stream`]) uses to
-    /// append each finished run to a campaign directory the moment it
-    /// exists, so a killed campaign loses at most the runs still in flight.
+    /// Callers that persist results and do not need them reassembled (the
+    /// streaming layer, [`crate::stream`]) use [`Self::try_run_jobs_foreach`]
+    /// instead, which retains nothing.
     pub fn execute_runs_with(
         &self,
         sim: &SimParams,
@@ -178,25 +178,6 @@ impl Executor {
         mut observer: impl FnMut(&RunResult),
     ) -> Vec<RunResult> {
         self.run_jobs_with(
-            runs,
-            |run| execute_run(sim, run),
-            |_, result| observer(result),
-        )
-    }
-
-    /// [`Self::execute_runs_with`] with an abortable observer: returning
-    /// `false` stops scheduling new runs, drains the pool and yields `None`.
-    ///
-    /// The streaming layer aborts this way when a disk write fails, so a
-    /// full disk one run into a week-long campaign does not burn the
-    /// remaining compute on results that can no longer be persisted.
-    pub fn try_execute_runs_with(
-        &self,
-        sim: &SimParams,
-        runs: &[RunSpec],
-        mut observer: impl FnMut(&RunResult) -> bool,
-    ) -> Option<Vec<RunResult>> {
-        self.try_run_jobs_with(
             runs,
             |run| execute_run(sim, run),
             |_, result| observer(result),
@@ -249,25 +230,56 @@ impl Executor {
         T: Sync,
         R: Send,
     {
+        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+        self.try_run_jobs_foreach(jobs, job, |i, result| {
+            let keep_going = observer(i, &result);
+            slots[i] = Some(result);
+            keep_going
+        })?;
+        Some(
+            slots
+                .into_iter()
+                .map(|r| r.expect("every job index is executed exactly once"))
+                .collect(),
+        )
+    }
+
+    /// The streaming primitive behind the pool: runs every job, handing each
+    /// `(job index, result)` pair to `observer` **by value** on the calling
+    /// thread, in completion order, and retaining nothing — the observer
+    /// drops (or persists) each result before the next one is delivered, so
+    /// peak memory is one in-flight result per worker regardless of how many
+    /// jobs the matrix holds.
+    ///
+    /// Returning `false` from the observer aborts: no new jobs are
+    /// scheduled, in-flight jobs finish and are discarded, and the call
+    /// yields `None`. This is what lets bigger-than-memory campaigns stream
+    /// every run straight to disk ([`crate::stream`]) without the pool ever
+    /// collecting a `Vec` of results.
+    pub fn try_run_jobs_foreach<T, R>(
+        &self,
+        jobs: &[T],
+        job: impl Fn(&T) -> R + Sync,
+        mut observer: impl FnMut(usize, R) -> bool,
+    ) -> Option<()>
+    where
+        T: Sync,
+        R: Send,
+    {
         if jobs.is_empty() {
-            return Some(Vec::new());
+            return Some(());
         }
         let workers = self.workers.min(jobs.len());
         if workers == 1 {
-            let mut results = Vec::with_capacity(jobs.len());
             for (i, j) in jobs.iter().enumerate() {
-                let result = job(j);
-                let keep_going = observer(i, &result);
-                results.push(result);
-                if !keep_going {
+                if !observer(i, job(j)) {
                     return None;
                 }
             }
-            return Some(results);
+            return Some(());
         }
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
         let mut aborted = false;
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -286,28 +298,23 @@ impl Executor {
                 });
             }
             drop(tx);
-            // Streamed aggregation: observe and slot results as they arrive
-            // instead of buffering channel messages until the end.
+            // Streamed delivery: each result is observed (and dropped) as it
+            // arrives instead of buffering channel messages until the end.
             for (i, result) in rx {
-                if !observer(i, &result) {
+                if !observer(i, result) {
                     // Abort: stop handing out new job indices and drop the
                     // receiver so in-flight senders unblock and drain.
                     aborted = true;
                     next.store(jobs.len(), Ordering::Relaxed);
                     break;
                 }
-                slots[i] = Some(result);
             }
         });
         if aborted {
-            return None;
+            None
+        } else {
+            Some(())
         }
-        Some(
-            slots
-                .into_iter()
-                .map(|r| r.expect("every job index is executed exactly once"))
-                .collect(),
-        )
     }
 }
 
@@ -376,6 +383,37 @@ mod tests {
         let expected: Vec<u64> = jobs.iter().map(|j| j * j).collect();
         for workers in [1, 3, 16] {
             assert_eq!(Executor::new(workers).run_jobs(&jobs, |&j| j * j), expected);
+        }
+    }
+
+    #[test]
+    fn foreach_delivers_every_result_once_and_aborts_on_false() {
+        let jobs: Vec<u64> = (0..25).collect();
+        for workers in [1, 4] {
+            let mut seen = vec![false; jobs.len()];
+            let done = Executor::new(workers).try_run_jobs_foreach(
+                &jobs,
+                |&j| j + 1,
+                |i, r| {
+                    assert_eq!(r, jobs[i] + 1);
+                    assert!(!seen[i], "job {i} delivered twice");
+                    seen[i] = true;
+                    true
+                },
+            );
+            assert_eq!(done, Some(()));
+            assert!(seen.iter().all(|&s| s));
+
+            let mut count = 0;
+            let aborted = Executor::new(workers).try_run_jobs_foreach(
+                &jobs,
+                |&j| j,
+                |_, _| {
+                    count += 1;
+                    count < 3
+                },
+            );
+            assert_eq!(aborted, None, "a false observer must abort the pool");
         }
     }
 

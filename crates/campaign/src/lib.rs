@@ -19,16 +19,23 @@
 //!    measurements by declarative keys and serializes as deterministic
 //!    JSON; an optional train/evaluate phase (fanned out over the same
 //!    worker pool) reproduces the paper's table-style detection/
-//!    localization metrics.
+//!    localization metrics. All aggregation is incremental: the
+//!    [`ReportAccumulator`] folds runs one at a time and retains none of
+//!    them, so campaigns bigger than memory still aggregate.
 //! 5. **Streaming & resume** — [`stream`] persists every finished run as a
 //!    JSONL record in a campaign directory the moment it completes, and
 //!    [`resume`] re-executes only the missing run indices after a crash,
 //!    rebuilding a byte-identical report (the stored [`spec_fingerprint`]
 //!    guards against mixing results from different specs).
+//! 6. **Cross-machine sharding** — [`run_shard`] executes a deterministic
+//!    strided slice of the run matrix into an ordinary campaign directory,
+//!    and [`merge`](merge::merge) reunites shard directories (verifying
+//!    fingerprints, deduplicating identical records, refusing gaps and
+//!    conflicts) into a report byte-identical to a single-machine run.
 //!
 //! The `campaign` binary exposes the engine on the command line
-//! (`expand` / `run` / `resume` / `report`), and the benchmark harness's
-//! table and figure binaries are built on top of it.
+//! (`expand` / `run` / `resume` / `shard` / `merge` / `report`), and the
+//! benchmark harness's table and figure binaries are built on top of it.
 //!
 //! ## Quick example
 //!
@@ -59,6 +66,7 @@
 
 pub mod executor;
 pub mod grid;
+pub mod merge;
 pub mod minitoml;
 pub mod report;
 pub mod spec;
@@ -66,9 +74,13 @@ pub mod stream;
 
 pub use executor::{execute_run, CampaignOutcome, Executor, RunMetrics, RunResult};
 pub use grid::{derive_run_seed, expand, runs_from_scenarios, RunSpec};
-pub use report::{split_by_benchmark, CampaignReport, EvalEntry, GroupSummary};
+pub use merge::merge;
+pub use report::{split_by_benchmark, CampaignReport, EvalEntry, GroupSummary, ReportAccumulator};
 pub use spec::{
     parse_feature, parse_workload, validate_group_by, CampaignSpec, EvalSpec, GridSpec, ReportSpec,
     SimParams, SpecError,
 };
-pub use stream::{resume, run_streaming, spec_fingerprint, CampaignDir, Manifest, ScanOutcome};
+pub use stream::{
+    resume, run_shard, run_streaming, spec_fingerprint, CampaignDir, LogIndex, Manifest,
+    RecordEntry, ShardSlice,
+};

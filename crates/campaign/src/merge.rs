@@ -1,0 +1,238 @@
+//! Merging sharded campaign directories back into one campaign.
+//!
+//! [`merge`] reunites any set of campaign directories that share a spec
+//! fingerprint — the shard directories written by
+//! [`crate::stream::run_shard`] on different machines, a whole-campaign
+//! directory, or any mix — into a fresh campaign directory whose
+//! `report.json` is **byte-identical** to an uninterrupted single-machine
+//! `campaign run` of the same spec.
+//!
+//! The merge is a two-pass stream over the inputs, so it never materializes
+//! the combined result set:
+//!
+//! 1. **Index** — every input log is scanned record-by-record into a byte
+//!    offset [`LogIndex`] (each record parsed for validation and dropped).
+//!    Records for the same run index must be byte-identical — identical
+//!    duplicates dedupe cleanly (first directory in argument order wins),
+//!    conflicting ones abort the merge. A torn tail record in an input is
+//!    tolerated exactly as [`crate::stream::resume`]'s scan tolerates its
+//!    own: ignored, with its run index treated as not stored.
+//! 2. **Replay** — the union is walked in run-index order; each record is
+//!    re-read from its source, appended to the merged `runs.jsonl`, folded
+//!    into the shared [`ReportAccumulator`], and dropped.
+//!
+//! Before replaying, the union must be gapless: any run index stored by no
+//! input aborts the merge with the exact gap list (resume the shard that
+//! owns it, then merge again).
+
+use crate::executor::Executor;
+use crate::grid::{self, RunSpec};
+use crate::report::{CampaignReport, ReportAccumulator};
+use crate::spec::{CampaignSpec, SpecError};
+use crate::stream::{CampaignDir, LogIndex, RecordEntry};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One opened input of a merge: its directory, record index, and (once the
+/// first record is read back) an open `runs.jsonl` handle — duplicate
+/// checks and the replay loop seek within it instead of reopening the file
+/// per record. Lazy because a source may hold no records at all.
+struct MergeSource {
+    dir: CampaignDir,
+    index: LogIndex,
+    reader: Option<File>,
+}
+
+impl MergeSource {
+    /// Reads one record's exact bytes through the cached handle.
+    fn read_record(&mut self, entry: &RecordEntry) -> Result<String, SpecError> {
+        if self.reader.is_none() {
+            self.reader = Some(self.dir.open_runs_for_read()?);
+        }
+        let reader = self.reader.as_mut().expect("just opened");
+        self.dir.read_record_line_at(reader, entry)
+    }
+}
+
+/// Merges campaign directories sharing one spec fingerprint into a fresh
+/// whole-campaign directory at `out`, returning the rebuilt report.
+///
+/// The merged directory holds the union of the inputs' run records in
+/// run-index order plus a `report.json` byte-identical to an uninterrupted
+/// single-machine run (it is itself an ordinary, resumable campaign
+/// directory). Inputs are only read, never modified.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when:
+/// - `inputs` is empty, an input is not a campaign directory, or its
+///   manifest is corrupt;
+/// - two inputs fingerprint differently (no mixing results across specs);
+/// - a run index is stored with conflicting payloads (within one input or
+///   across two);
+/// - the union has gaps — the error lists every missing run index;
+/// - the output directory already holds a campaign, or any I/O fails.
+pub fn merge(
+    executor: &Executor,
+    inputs: &[PathBuf],
+    out: impl Into<PathBuf>,
+) -> Result<CampaignReport, SpecError> {
+    let (spec, runs, mut sources) = index_inputs(inputs)?;
+    let union = unite(&runs, &mut sources)?;
+
+    // Replay the union in run-index order: copy each record's exact bytes
+    // into the merged log and fold the parsed record into the accumulator —
+    // one record in memory at a time, one open handle per source.
+    let out_dir = CampaignDir::create(out, &spec, runs.len())?;
+    let mut writer = out_dir.open_runs_for_append()?;
+    let mut acc = ReportAccumulator::for_spec(&spec)?;
+    for (source_id, entry) in union {
+        let source = &mut sources[source_id];
+        let line = source.read_record(&entry)?;
+        let record = parse_record(&source.dir, &line)?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| {
+                SpecError::new(format!(
+                    "cannot append to {}: {e}",
+                    out_dir.runs_path().display()
+                ))
+            })?;
+        acc.fold(&record);
+    }
+    writer
+        .flush()
+        .map_err(|e| SpecError::new(format!("cannot flush merged run log: {e}")))?;
+    drop(writer);
+
+    let report = acc.finish(executor)?;
+    out_dir.write_report(&report)?;
+    Ok(report)
+}
+
+/// Opens every input, verifies the shared fingerprint and run-matrix size,
+/// and indexes each run log.
+fn index_inputs(
+    inputs: &[PathBuf],
+) -> Result<(CampaignSpec, Vec<RunSpec>, Vec<MergeSource>), SpecError> {
+    let Some(first) = inputs.first() else {
+        return Err(SpecError::new(
+            "merge needs at least one campaign directory",
+        ));
+    };
+    let first_dir = CampaignDir::open(first)?;
+    let first_manifest = first_dir.manifest()?;
+    let spec = first_manifest.spec.clone();
+    let runs = grid::expand(&spec)?;
+    if runs.len() != first_manifest.total_runs {
+        return Err(SpecError::new(format!(
+            "manifest of {} records {} runs but its spec expands to {}; the \
+             campaign directory is corrupt",
+            first_dir.root().display(),
+            first_manifest.total_runs,
+            runs.len()
+        )));
+    }
+
+    let mut sources = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let dir = CampaignDir::open(input)?;
+        let manifest = dir.manifest()?;
+        if manifest.fingerprint != first_manifest.fingerprint {
+            return Err(SpecError::new(format!(
+                "spec fingerprint mismatch: {} was created from fingerprint {}, but {} \
+                 holds fingerprint {}; refusing to merge results from different campaigns",
+                first_dir.root().display(),
+                first_manifest.fingerprint,
+                dir.root().display(),
+                manifest.fingerprint
+            )));
+        }
+        let index = dir.index_log(&runs)?;
+        sources.push(MergeSource {
+            dir,
+            index,
+            reader: None,
+        });
+    }
+    Ok((spec, runs, sources))
+}
+
+/// Unions the sources' record locations by run index: identical duplicates
+/// dedupe (first source in argument order wins), conflicting duplicates and
+/// gaps abort.
+fn unite(
+    runs: &[RunSpec],
+    sources: &mut [MergeSource],
+) -> Result<Vec<(usize, RecordEntry)>, SpecError> {
+    let mut slots: Vec<Option<(usize, RecordEntry)>> = (0..runs.len()).map(|_| None).collect();
+    for source_id in 0..sources.len() {
+        // Snapshot the (Copy) locations so the reader handles stay free for
+        // the duplicate comparisons below.
+        let located: Vec<(usize, RecordEntry)> = sources[source_id]
+            .index
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .collect();
+        for (run_index, entry) in located {
+            match slots[run_index] {
+                None => slots[run_index] = Some((source_id, entry)),
+                Some((kept_id, kept_entry)) => {
+                    // Cross-input duplicate: runs are deterministic, so a
+                    // true re-execution is byte-identical. Compare the raw
+                    // record bytes (one record from each side in memory).
+                    let kept = sources[kept_id].read_record(&kept_entry)?;
+                    let dup = sources[source_id].read_record(&entry)?;
+                    if kept != dup {
+                        return Err(SpecError::new(format!(
+                            "run index {run_index} appears with conflicting payloads in {} \
+                             and {}; the shards were not produced by the same campaign \
+                             execution",
+                            sources[kept_id].dir.root().display(),
+                            sources[source_id].dir.root().display()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    let gaps: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    if !gaps.is_empty() {
+        return Err(SpecError::new(format!(
+            "merge is missing {} of {} run indices: [{}]; resume the shard(s) that \
+             own them, then merge again",
+            gaps.len(),
+            runs.len(),
+            render_indices(&gaps)
+        )));
+    }
+    Ok(slots.into_iter().map(|s| s.expect("gapless")).collect())
+}
+
+/// Renders a sorted index list exactly, one decimal per index.
+fn render_indices(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parses a record line re-read during replay (the log changed underneath
+/// the index if this fails).
+fn parse_record(dir: &CampaignDir, line: &str) -> Result<crate::executor::RunResult, SpecError> {
+    serde_json::from_str(line.trim()).map_err(|e| {
+        SpecError::new(format!(
+            "record in {} changed under the merge index: {e}",
+            dir.runs_path().display()
+        ))
+    })
+}

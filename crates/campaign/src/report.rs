@@ -2,13 +2,22 @@
 //! `report.group_by` keys, plus the optional train/evaluate phase behind the
 //! paper's table-style experiments.
 //!
+//! All aggregation flows through one incremental code path, the
+//! [`ReportAccumulator`]: it folds [`RunResult`]s one at a time into running
+//! group statistics and (when the eval phase is enabled) per-mesh sample
+//! pools, never retaining the runs themselves — which is what lets the
+//! streaming, resume and merge paths ([`crate::stream`], [`crate::merge`])
+//! aggregate campaigns bigger than memory. The in-memory
+//! [`CampaignReport::build_with`] is the same fold over an outcome's run
+//! vector.
+//!
 //! Everything here is deterministic: groups appear in first-seen run order,
 //! aggregates are accumulated in run-index order, and serialization goes
 //! through the order-preserving `serde` value tree — so a report rendered
 //! from a 16-worker campaign is byte-identical to the serial one.
 
 use crate::executor::{CampaignOutcome, Executor, RunResult};
-use crate::spec::{parse_feature, SpecError};
+use crate::spec::{parse_feature, validate_group_by, CampaignSpec, EvalSpec, SpecError};
 use dl2fence::evaluation::evaluate;
 use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
 use noc_monitor::LabeledSample;
@@ -96,6 +105,12 @@ impl CampaignReport {
 
     /// [`Self::build`] with an explicit worker pool for the eval phase.
     ///
+    /// This is the in-memory entry to the one shared aggregation path: it
+    /// folds the outcome's runs through a [`ReportAccumulator`] in matrix
+    /// order, exactly as the streaming resume and merge paths fold records
+    /// replayed from a run log — so all three produce byte-identical
+    /// reports from the same runs.
+    ///
     /// Per-mesh-group training jobs are independent (each trains its own
     /// DL2Fence instance from its own spec-derived seed), so they fan out
     /// over `executor` and are reassembled in group order — the entries are
@@ -107,21 +122,11 @@ impl CampaignReport {
     /// Returns a [`SpecError`] if the eval phase is enabled but its
     /// configuration is invalid.
     pub fn build_with(outcome: &CampaignOutcome, executor: &Executor) -> Result<Self, SpecError> {
-        let group_by = outcome.spec.report.group_by.clone();
-        let groups = group_runs(&outcome.runs, &group_by);
-        let evaluations = if outcome.spec.eval.enabled {
-            run_eval_phase(outcome, executor)?
-        } else {
-            Vec::new()
-        };
-        Ok(CampaignReport {
-            campaign: outcome.spec.name.clone(),
-            total_runs: outcome.runs.len(),
-            attack_runs: outcome.runs.iter().filter(|r| r.spec.is_attack()).count(),
-            group_by,
-            groups,
-            evaluations,
-        })
+        let mut acc = ReportAccumulator::for_spec(&outcome.spec)?;
+        for run in &outcome.runs {
+            acc.fold(run);
+        }
+        acc.finish(executor)
     }
 
     /// Builds a report (without an eval phase) directly from executed runs
@@ -137,15 +142,11 @@ impl CampaignReport {
         group_by: Vec<String>,
         runs: &[RunResult],
     ) -> Result<Self, SpecError> {
-        crate::spec::validate_group_by(&group_by)?;
-        Ok(CampaignReport {
-            campaign: campaign.into(),
-            total_runs: runs.len(),
-            attack_runs: runs.iter().filter(|r| r.spec.is_attack()).count(),
-            groups: group_runs(runs, &group_by),
-            group_by,
-            evaluations: Vec::new(),
-        })
+        let mut acc = ReportAccumulator::new(campaign, group_by, EvalSpec::default())?;
+        for run in runs {
+            acc.fold(run);
+        }
+        acc.finish(&Executor::new(1))
     }
 
     /// Serializes the report as pretty JSON.
@@ -222,55 +223,231 @@ fn axis_value(run: &RunResult, axis: &str) -> String {
     }
 }
 
-/// Groups runs by the rendered `group_by` key, preserving first-seen order,
-/// and aggregates each group.
-fn group_runs(runs: &[RunResult], group_by: &[String]) -> Vec<GroupSummary> {
-    let mut order: Vec<Vec<(String, String)>> = Vec::new();
-    let mut buckets: Vec<Vec<&RunResult>> = Vec::new();
-    for run in runs {
-        let key: Vec<(String, String)> = group_by
+/// Running aggregates of one report group — the incremental form of a
+/// [`GroupSummary`], finalized (sums divided into means) by
+/// [`ReportAccumulator::finish`].
+#[derive(Debug, Clone)]
+struct GroupAccumulator {
+    key: Vec<(String, String)>,
+    runs: usize,
+    attack_runs: usize,
+    saturated_runs: usize,
+    packets_created: u64,
+    packets_received: u64,
+    malicious_packets_received: u64,
+    sum_packet_latency: f64,
+    sum_packet_queue_latency: f64,
+    sum_flit_latency: f64,
+    sum_flit_queue_latency: f64,
+    max_packet_latency: f64,
+    energy_nj: f64,
+    sum_power_mw: f64,
+}
+
+impl GroupAccumulator {
+    fn new(key: Vec<(String, String)>) -> Self {
+        GroupAccumulator {
+            key,
+            runs: 0,
+            attack_runs: 0,
+            saturated_runs: 0,
+            packets_created: 0,
+            packets_received: 0,
+            malicious_packets_received: 0,
+            sum_packet_latency: 0.0,
+            sum_packet_queue_latency: 0.0,
+            sum_flit_latency: 0.0,
+            sum_flit_queue_latency: 0.0,
+            max_packet_latency: 0.0,
+            energy_nj: 0.0,
+            sum_power_mw: 0.0,
+        }
+    }
+
+    fn fold(&mut self, run: &RunResult) {
+        self.runs += 1;
+        self.attack_runs += usize::from(run.spec.is_attack());
+        self.saturated_runs += usize::from(run.metrics.saturated);
+        self.packets_created += run.metrics.packets_created;
+        self.packets_received += run.metrics.packets_received;
+        self.malicious_packets_received += run.metrics.malicious_packets_received;
+        self.sum_packet_latency += run.metrics.packet_latency;
+        self.sum_packet_queue_latency += run.metrics.packet_queue_latency;
+        self.sum_flit_latency += run.metrics.flit_latency;
+        self.sum_flit_queue_latency += run.metrics.flit_queue_latency;
+        self.max_packet_latency = self.max_packet_latency.max(run.metrics.packet_latency);
+        self.energy_nj += run.metrics.energy_nj;
+        self.sum_power_mw += run.metrics.power_mw;
+    }
+
+    fn finish(self) -> GroupSummary {
+        // Sums are folded in run-index order, so dividing once here yields
+        // the same f64 bits as the historical batch `sum / n` computation.
+        let n = self.runs.max(1) as f64;
+        GroupSummary {
+            key: self.key,
+            runs: self.runs,
+            attack_runs: self.attack_runs,
+            saturated_runs: self.saturated_runs,
+            packets_created: self.packets_created,
+            packets_received: self.packets_received,
+            malicious_packets_received: self.malicious_packets_received,
+            mean_packet_latency: self.sum_packet_latency / n,
+            mean_packet_queue_latency: self.sum_packet_queue_latency / n,
+            mean_flit_latency: self.sum_flit_latency / n,
+            mean_flit_queue_latency: self.sum_flit_queue_latency / n,
+            max_packet_latency: self.max_packet_latency,
+            energy_nj: self.energy_nj,
+            mean_power_mw: self.sum_power_mw / n,
+        }
+    }
+}
+
+/// One per-mesh sample pool feeding the eval phase: the only thing the
+/// accumulator retains from a run beyond scalar aggregates, and only when
+/// the eval phase is enabled.
+#[derive(Debug)]
+struct EvalPool {
+    mesh: usize,
+    seed: u64,
+    samples: Vec<LabeledSample>,
+}
+
+/// Streaming report builder: folds [`RunResult`]s one at a time, in run-
+/// index order, into running group statistics and (when the eval phase is
+/// enabled) per-mesh sample pools — **never retaining the runs
+/// themselves**. [`Self::finish`] turns the aggregates into a
+/// [`CampaignReport`].
+///
+/// This is the single aggregation code path shared by the in-memory
+/// ([`CampaignReport::build_with`]), resume ([`crate::stream::resume`]) and
+/// merge ([`crate::merge::merge`]) paths: feeding the same runs in the same
+/// order produces byte-identical reports on all three, and because a folded
+/// run is dropped immediately, report building works on campaigns whose
+/// full result set would not fit in memory.
+#[derive(Debug)]
+pub struct ReportAccumulator {
+    campaign: String,
+    group_by: Vec<String>,
+    eval: EvalSpec,
+    total_runs: usize,
+    attack_runs: usize,
+    groups: Vec<GroupAccumulator>,
+    eval_pools: Vec<EvalPool>,
+}
+
+impl ReportAccumulator {
+    /// An accumulator aggregating exactly as a campaign run from `spec`
+    /// would: the spec's grouping keys, name, and eval configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if `spec.report.group_by` holds an unknown
+    /// key.
+    pub fn for_spec(spec: &CampaignSpec) -> Result<Self, SpecError> {
+        Self::new(
+            spec.name.clone(),
+            spec.report.group_by.clone(),
+            spec.eval.clone(),
+        )
+    }
+
+    /// An accumulator from explicit parts (harnesses that bypass specs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if `group_by` holds an unknown key.
+    pub fn new(
+        campaign: impl Into<String>,
+        group_by: Vec<String>,
+        eval: EvalSpec,
+    ) -> Result<Self, SpecError> {
+        validate_group_by(&group_by)?;
+        Ok(ReportAccumulator {
+            campaign: campaign.into(),
+            group_by,
+            eval,
+            total_runs: 0,
+            attack_runs: 0,
+            groups: Vec::new(),
+            eval_pools: Vec::new(),
+        })
+    }
+
+    /// Folds one run into the aggregates. Call in run-index order — the
+    /// fold order fixes both group ordering (first-seen) and the f64
+    /// summation order, which is what the byte-identity guarantee rests on.
+    pub fn fold(&mut self, run: &RunResult) {
+        self.total_runs += 1;
+        self.attack_runs += usize::from(run.spec.is_attack());
+        let key: Vec<(String, String)> = self
+            .group_by
             .iter()
             .map(|axis| (axis.clone(), axis_value(run, axis)))
             .collect();
-        match order.iter().position(|k| *k == key) {
-            Some(i) => buckets[i].push(run),
+        match self.groups.iter_mut().find(|g| g.key == key) {
+            Some(group) => group.fold(run),
             None => {
-                order.push(key);
-                buckets.push(vec![run]);
+                let mut group = GroupAccumulator::new(key);
+                group.fold(run);
+                self.groups.push(group);
             }
         }
+        if self.eval.enabled {
+            let pool = match self.eval_pools.iter_mut().find(|p| p.mesh == run.spec.mesh) {
+                Some(pool) => pool,
+                None => {
+                    self.eval_pools.push(EvalPool {
+                        mesh: run.spec.mesh,
+                        seed: run.spec.campaign_seed,
+                        samples: Vec::new(),
+                    });
+                    self.eval_pools.last_mut().expect("just pushed")
+                }
+            };
+            pool.samples.extend(run.samples.iter().cloned());
+        }
     }
-    order
-        .into_iter()
-        .zip(buckets)
-        .map(|(key, members)| summarize(key, &members))
-        .collect()
-}
 
-fn summarize(key: Vec<(String, String)>, members: &[&RunResult]) -> GroupSummary {
-    let n = members.len().max(1) as f64;
-    let mean = |f: fn(&RunResult) -> f64| members.iter().map(|r| f(r)).sum::<f64>() / n;
-    GroupSummary {
-        key,
-        runs: members.len(),
-        attack_runs: members.iter().filter(|r| r.spec.is_attack()).count(),
-        saturated_runs: members.iter().filter(|r| r.metrics.saturated).count(),
-        packets_created: members.iter().map(|r| r.metrics.packets_created).sum(),
-        packets_received: members.iter().map(|r| r.metrics.packets_received).sum(),
-        malicious_packets_received: members
-            .iter()
-            .map(|r| r.metrics.malicious_packets_received)
-            .sum(),
-        mean_packet_latency: mean(|r| r.metrics.packet_latency),
-        mean_packet_queue_latency: mean(|r| r.metrics.packet_queue_latency),
-        mean_flit_latency: mean(|r| r.metrics.flit_latency),
-        mean_flit_queue_latency: mean(|r| r.metrics.flit_queue_latency),
-        max_packet_latency: members
-            .iter()
-            .map(|r| r.metrics.packet_latency)
-            .fold(0.0, f64::max),
-        energy_nj: members.iter().map(|r| r.metrics.energy_nj).sum(),
-        mean_power_mw: mean(|r| r.metrics.power_mw),
+    /// Runs folded so far.
+    pub fn folded_runs(&self) -> usize {
+        self.total_runs
+    }
+
+    /// How many eval-phase samples the accumulator currently buffers.
+    ///
+    /// This is the accumulator's entire per-run retention: zero unless the
+    /// eval phase is enabled (the O(1)-retention guard in the test suite),
+    /// and only the labeled samples — never the runs — when it is.
+    pub fn retained_samples(&self) -> usize {
+        self.eval_pools.iter().map(|p| p.samples.len()).sum()
+    }
+
+    /// Finalizes the aggregates into a [`CampaignReport`], running the eval
+    /// phase (fanned out over `executor`) if the spec enabled it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the eval phase is enabled but its
+    /// configuration is invalid or a mesh group has no samples.
+    pub fn finish(self, executor: &Executor) -> Result<CampaignReport, SpecError> {
+        let evaluations = if self.eval.enabled {
+            run_eval_phase(self.eval_pools, &self.eval, executor)?
+        } else {
+            Vec::new()
+        };
+        Ok(CampaignReport {
+            campaign: self.campaign,
+            total_runs: self.total_runs,
+            attack_runs: self.attack_runs,
+            group_by: self.group_by,
+            groups: self
+                .groups
+                .into_iter()
+                .map(GroupAccumulator::finish)
+                .collect(),
+            evaluations,
+        })
     }
 }
 
@@ -351,41 +528,32 @@ pub fn split_by_benchmark(
     (train, test)
 }
 
-/// The evaluation phase: per mesh size, split the collected samples, train
-/// one DL2Fence instance over the whole benchmark group (the paper's
+/// The evaluation phase: per mesh size, split the accumulated samples,
+/// train one DL2Fence instance over the whole benchmark group (the paper's
 /// protocol) and evaluate it on the held-out set, broken down per benchmark.
 ///
-/// Groups are prepared serially (cheap), then the expensive train/evaluate
-/// jobs fan out over `executor`'s worker pool so the eval phase no longer
-/// serializes the tail of a campaign. Jobs are independent and reassembled
-/// in group order, so the entries are identical for any worker count.
+/// Pools arrive from the [`ReportAccumulator`] in first-seen mesh order
+/// with samples in run-index order — identical to grouping a full in-memory
+/// result set. Splits are prepared serially (cheap), then the expensive
+/// train/evaluate jobs fan out over `executor`'s worker pool so the eval
+/// phase no longer serializes the tail of a campaign. Jobs are independent
+/// and reassembled in group order, so the entries are identical for any
+/// worker count.
 fn run_eval_phase(
-    outcome: &CampaignOutcome,
+    pools: Vec<EvalPool>,
+    eval: &EvalSpec,
     executor: &Executor,
 ) -> Result<Vec<EvalEntry>, SpecError> {
-    let eval = &outcome.spec.eval;
     let detection = parse_feature(&eval.detection_feature)?;
     let localization = parse_feature(&eval.localization_feature)?;
 
-    // Group runs by mesh in first-seen order.
-    let mut order: Vec<usize> = Vec::new();
-    let mut buckets: Vec<Vec<&RunResult>> = Vec::new();
-    for run in &outcome.runs {
-        match order.iter().position(|&m| m == run.spec.mesh) {
-            Some(i) => buckets[i].push(run),
-            None => {
-                order.push(run.spec.mesh);
-                buckets.push(vec![run]);
-            }
-        }
-    }
-
     let mut jobs = Vec::new();
-    for (mesh, members) in order.into_iter().zip(buckets) {
-        let samples: Vec<LabeledSample> = members
-            .iter()
-            .flat_map(|r| r.samples.iter().cloned())
-            .collect();
+    for pool in pools {
+        let EvalPool {
+            mesh,
+            seed,
+            samples,
+        } = pool;
         if samples.is_empty() {
             return Err(SpecError::new(
                 "eval phase found no samples; is sim.collect_samples enabled?",
@@ -400,7 +568,7 @@ fn run_eval_phase(
         }
         jobs.push(EvalJob {
             mesh,
-            seed: members[0].spec.campaign_seed,
+            seed,
             train,
             test,
         });

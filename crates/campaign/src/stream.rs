@@ -1,33 +1,38 @@
-//! Streaming, resumable campaign execution.
+//! Streaming, resumable, shardable campaign execution.
 //!
 //! A long-running campaign streams every finished run to a **campaign
 //! directory** as it completes, making the campaign crash-durable: kill it
-//! at any point and [`resume`] picks up where the log ends. (Report
-//! building still materializes all results in memory — incremental
-//! aggregation for truly bigger-than-memory campaigns is a ROADMAP item;
-//! the durable, index-tagged record format here is the groundwork.)
+//! at any point and [`resume`] picks up where the log ends. A campaign can
+//! also be split across machines with [`run_shard`] — each shard executes a
+//! deterministic slice of the run matrix into an ordinary campaign
+//! directory — and reunited by [`crate::merge::merge`].
 //!
 //! ```text
-//! <dir>/manifest.json   campaign name, spec fingerprint, run count, spec
+//! <dir>/manifest.json   campaign name, spec fingerprint, run count, spec,
+//!                       and (for shard directories) the shard slice
 //! <dir>/runs.jsonl      one JSONL record per finished run, appended as
 //!                       results complete (index-tagged, any order)
-//! <dir>/report.json     the final aggregated report (written last)
+//! <dir>/report.json     the final aggregated report (written last; absent
+//!                       in shard directories — a shard is not a campaign)
 //! ```
 //!
-//! Workers append each [`RunResult`] the moment it finishes, so a killed
-//! campaign loses at most the runs still in flight. [`resume`] scans the
-//! JSONL, verifies the stored [`spec_fingerprint`], re-executes only the
-//! missing run indices and rebuilds the report — byte-identical to an
-//! uninterrupted run, because every run's seed derives from the spec alone
-//! and results are reassembled in matrix order either way.
+//! Workers append each [`RunResult`] the moment it finishes — and nothing
+//! retains it afterwards: report building replays the persisted log through
+//! a [`ReportAccumulator`] one record at a time ([`CampaignDir::replay`]),
+//! so a campaign bigger than memory streams through aggregation instead of
+//! materializing its full result set. [`resume`] scans the JSONL into a
+//! byte-offset [`LogIndex`], verifies the stored [`spec_fingerprint`],
+//! re-executes only the missing run indices and rebuilds the report —
+//! byte-identical to an uninterrupted run, because every run's seed derives
+//! from the spec alone and records are replayed in matrix order either way.
 
-use crate::executor::{CampaignOutcome, Executor, RunResult};
+use crate::executor::{execute_run, Executor, RunResult};
 use crate::grid::{self, RunSpec};
-use crate::report::CampaignReport;
+use crate::report::{CampaignReport, ReportAccumulator};
 use crate::spec::{CampaignSpec, SpecError};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
+use std::io::{BufRead as _, BufReader, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 /// File name of the campaign manifest inside a campaign directory.
@@ -53,6 +58,41 @@ pub fn spec_fingerprint(spec: &CampaignSpec) -> String {
     format!("{hash:016x}")
 }
 
+/// Which deterministic slice of the run matrix a shard directory owns.
+///
+/// Shard `index` of `count` owns exactly the run indices congruent to
+/// `index` modulo `count` — a strided slice, so every shard samples the
+/// whole grid (meshes, workloads, FIRs) instead of one machine drawing all
+/// the expensive 16×16 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSlice {
+    /// This shard's position, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the campaign was split into.
+    pub count: usize,
+}
+
+impl ShardSlice {
+    /// Whether this slice owns run index `run_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero — an invalid slice ([`run_shard`] and
+    /// [`CampaignDir::manifest`] both reject it before it reaches here).
+    pub fn owns(&self, run_index: usize) -> bool {
+        run_index % self.count == self.index
+    }
+
+    /// The run indices this slice owns, ascending, out of `total` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero, like [`Self::owns`].
+    pub fn owned_indices(&self, total: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.index..total).step_by(self.count)
+    }
+}
+
 /// The manifest stored at the root of a campaign directory: enough to
 /// resume the campaign with no other input.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,17 +101,48 @@ pub struct Manifest {
     pub name: String,
     /// [`spec_fingerprint`] of the embedded spec.
     pub fingerprint: String,
-    /// Size of the expanded run matrix.
+    /// Size of the full expanded run matrix (also for shard directories,
+    /// which own only a [`ShardSlice`] of it).
     pub total_runs: usize,
+    /// The shard slice this directory executes; `None` for a whole-campaign
+    /// directory.
+    #[serde(default)]
+    pub shard: Option<ShardSlice>,
     /// The full campaign spec.
     pub spec: CampaignSpec,
 }
 
-/// What a scan of `runs.jsonl` found.
+impl Default for Manifest {
+    /// Deserialization fallback source for the optional `shard` field only —
+    /// a default manifest never validates (empty fingerprint).
+    fn default() -> Self {
+        Manifest {
+            name: String::new(),
+            fingerprint: String::new(),
+            total_runs: 0,
+            shard: None,
+            spec: CampaignSpec::default(),
+        }
+    }
+}
+
+/// The byte location of one stored record inside `runs.jsonl`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordEntry {
+    /// Byte offset of the record's line start.
+    pub offset: u64,
+    /// Byte length of the raw line (trailing newline excluded).
+    pub len: usize,
+}
+
+/// What a streaming scan of `runs.jsonl` found: per-run byte locations
+/// instead of materialized records, so indexing a log costs O(records) time
+/// but O(1) retained [`RunResult`]s.
 #[derive(Debug)]
-pub struct ScanOutcome {
-    /// Parsed results slotted by run index (`None` where no record exists).
-    pub results: Vec<Option<RunResult>>,
+pub struct LogIndex {
+    /// Record locations slotted by run index (`None` where no record
+    /// exists).
+    pub entries: Vec<Option<RecordEntry>>,
     /// Whether the final line was an unparseable partial record (the
     /// expected shape of a crash mid-append); it is ignored and its run
     /// index re-executed.
@@ -82,32 +153,33 @@ pub struct ScanOutcome {
     pub valid_bytes: u64,
 }
 
-impl ScanOutcome {
-    /// Finished run count.
+impl LogIndex {
+    /// Stored run count.
     pub fn completed(&self) -> usize {
-        self.results.iter().filter(|r| r.is_some()).count()
+        self.entries.iter().filter(|e| e.is_some()).count()
     }
 
     /// The run indices with no stored record, in matrix order.
     pub fn missing_indices(&self) -> Vec<usize> {
-        self.results
+        self.entries
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .filter_map(|(i, e)| e.is_none().then_some(i))
             .collect()
     }
 }
 
-/// A campaign directory: the on-disk home of one streaming campaign.
+/// A campaign directory: the on-disk home of one streaming campaign (or one
+/// shard of it).
 #[derive(Debug, Clone)]
 pub struct CampaignDir {
     root: PathBuf,
 }
 
 impl CampaignDir {
-    /// Initializes a fresh campaign directory for `spec` (whose run matrix
-    /// has `total_runs` entries — the caller already expanded it), creating
-    /// `root` (and parents) and writing the manifest.
+    /// Initializes a fresh whole-campaign directory for `spec` (whose run
+    /// matrix has `total_runs` entries — the caller already expanded it),
+    /// creating `root` (and parents) and writing the manifest.
     ///
     /// # Errors
     ///
@@ -117,6 +189,24 @@ impl CampaignDir {
         root: impl Into<PathBuf>,
         spec: &CampaignSpec,
         total_runs: usize,
+    ) -> Result<Self, SpecError> {
+        Self::create_with_shard(root, spec, total_runs, None)
+    }
+
+    /// [`Self::create`] for a shard directory: the manifest additionally
+    /// records the [`ShardSlice`] this directory executes, which is how
+    /// [`resume`] knows to re-execute only the shard's own missing indices
+    /// (and to skip report building — a shard is not a whole campaign).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the spec fails validation, the directory
+    /// already holds a campaign, or the manifest cannot be written.
+    pub fn create_with_shard(
+        root: impl Into<PathBuf>,
+        spec: &CampaignSpec,
+        total_runs: usize,
+        shard: Option<ShardSlice>,
     ) -> Result<Self, SpecError> {
         spec.validate()?;
         let root = root.into();
@@ -134,6 +224,7 @@ impl CampaignDir {
             name: spec.name.clone(),
             fingerprint: spec_fingerprint(spec),
             total_runs,
+            shard,
             spec: spec.clone(),
         };
         let text =
@@ -196,6 +287,14 @@ impl CampaignDir {
                 manifest.fingerprint
             )));
         }
+        if let Some(shard) = manifest.shard {
+            if shard.count == 0 || shard.index >= shard.count {
+                return Err(SpecError::new(format!(
+                    "manifest records shard {}/{}, which is not a valid slice",
+                    shard.index, shard.count
+                )));
+            }
+        }
         Ok(manifest)
     }
 
@@ -232,23 +331,33 @@ impl CampaignDir {
             .map_err(|e| SpecError::new(format!("cannot open {}: {e}", self.runs_path().display())))
     }
 
-    /// Scans `runs.jsonl` against the expanded run matrix, slotting every
-    /// stored record by index.
+    /// Scans `runs.jsonl` against the expanded run matrix, recording every
+    /// stored record's byte location by run index — each record is parsed
+    /// for validation and dropped immediately, so indexing never holds more
+    /// than one [`RunResult`].
     ///
-    /// A missing file means an empty scan (campaign killed before its first
-    /// record). An unparseable **final** line is tolerated as a crash-
-    /// truncated partial record; anything unparseable earlier, an
+    /// A missing file means an empty index (campaign killed before its
+    /// first record). An unparseable **final** line is tolerated as a
+    /// crash-truncated partial record; anything unparseable earlier, an
     /// out-of-range index, or a stored record whose run spec disagrees with
-    /// the matrix is an error.
+    /// the matrix is an error. A duplicate index is deduplicated when its
+    /// record bytes are identical to the stored one (first wins) and is an
+    /// error when they conflict.
     ///
     /// # Errors
     ///
     /// Returns a [`SpecError`] describing the first corrupt record.
-    pub fn scan(&self, runs: &[RunSpec]) -> Result<ScanOutcome, SpecError> {
+    pub fn index_log(&self, runs: &[RunSpec]) -> Result<LogIndex, SpecError> {
         let path = self.runs_path();
-        let text = match std::fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        let file = match File::open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(LogIndex {
+                    entries: (0..runs.len()).map(|_| None).collect(),
+                    truncated_tail: false,
+                    valid_bytes: 0,
+                });
+            }
             Err(e) => {
                 return Err(SpecError::new(format!(
                     "cannot read {}: {e}",
@@ -256,66 +365,154 @@ impl CampaignDir {
                 )))
             }
         };
-        // Segments keep their trailing newline so byte offsets stay exact.
-        let segments: Vec<&str> = text.split_inclusive('\n').collect();
-        let last_content = segments.iter().rposition(|s| !s.trim().is_empty());
-        let mut results: Vec<Option<RunResult>> = (0..runs.len()).map(|_| None).collect();
-        let mut truncated_tail = false;
-        let mut offset = 0u64;
+        let mut reader = BufReader::new(file);
+        let mut entries: Vec<Option<RecordEntry>> = (0..runs.len()).map(|_| None).collect();
         let mut valid_bytes = 0u64;
-        for (n, segment) in segments.iter().enumerate() {
-            offset += segment.len() as u64;
+        let mut offset = 0u64;
+        let mut line_no = 0usize;
+        // A parse failure is only tolerable if nothing follows it; remember
+        // it and keep scanning so a later record can prove it mid-file.
+        let mut pending_error: Option<(usize, String)> = None;
+        let mut segment = String::new();
+        loop {
+            segment.clear();
+            let read = reader
+                .read_line(&mut segment)
+                .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+            if read == 0 {
+                break;
+            }
+            line_no += 1;
+            let line_start = offset;
+            offset += read as u64;
             let line = segment.trim();
             if line.is_empty() {
                 continue;
             }
+            if let Some((bad_line, error)) = pending_error.take() {
+                return Err(SpecError::new(format!(
+                    "corrupt record on line {bad_line} of {}: {error}",
+                    path.display()
+                )));
+            }
             let record: RunResult = match serde_json::from_str(line) {
                 Ok(record) => record,
-                Err(e) if Some(n) == last_content => {
-                    // A crash mid-append leaves exactly one partial final
-                    // line; drop it and re-execute that run.
-                    let _ = e;
-                    truncated_tail = true;
-                    continue;
-                }
                 Err(e) => {
-                    return Err(SpecError::new(format!(
-                        "corrupt record on line {} of {}: {e}",
-                        n + 1,
-                        path.display()
-                    )))
+                    pending_error = Some((line_no, e.to_string()));
+                    continue;
                 }
             };
             let index = record.spec.index;
             let Some(expected) = runs.get(index) else {
                 return Err(SpecError::new(format!(
-                    "record on line {} of {} has run index {index}, but the campaign \
+                    "record on line {line_no} of {} has run index {index}, but the campaign \
                      expands to {} runs",
-                    n + 1,
                     path.display(),
                     runs.len()
                 )));
             };
             if record.spec != *expected {
                 return Err(SpecError::new(format!(
-                    "record on line {} of {} disagrees with the spec's run matrix at \
+                    "record on line {line_no} of {} disagrees with the spec's run matrix at \
                      index {index}; the run log belongs to a different campaign",
-                    n + 1,
                     path.display()
                 )));
             }
+            drop(record);
             valid_bytes = offset;
-            // Duplicate indices can only hold identical payloads (runs are
-            // deterministic), so first-wins is safe.
-            if results[index].is_none() {
-                results[index] = Some(record);
+            let leading = (segment.len() - segment.trim_start().len()) as u64;
+            let entry = RecordEntry {
+                offset: line_start + leading,
+                len: line.len(),
+            };
+            match entries[index] {
+                // First record for this index wins; a repeat must be
+                // byte-identical (runs are deterministic) or the log mixes
+                // results from different executions.
+                Some(existing) => {
+                    if self.read_record_line(&existing)? != line {
+                        return Err(SpecError::new(format!(
+                            "run index {index} appears twice in {} with conflicting \
+                             payloads (line {line_no})",
+                            path.display()
+                        )));
+                    }
+                }
+                None => entries[index] = Some(entry),
             }
         }
-        Ok(ScanOutcome {
-            results,
-            truncated_tail,
+        Ok(LogIndex {
+            entries,
+            truncated_tail: pending_error.is_some(),
             valid_bytes,
         })
+    }
+
+    /// Opens `runs.jsonl` for random-access reads ([`Self::read_record_line_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the file cannot be opened.
+    pub fn open_runs_for_read(&self) -> Result<File, SpecError> {
+        File::open(self.runs_path())
+            .map_err(|e| SpecError::new(format!("cannot read {}: {e}", self.runs_path().display())))
+    }
+
+    /// Reads one stored record's exact bytes (whitespace-trimmed line) back
+    /// from `runs.jsonl` by its [`RecordEntry`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the bytes cannot be read.
+    pub fn read_record_line(&self, entry: &RecordEntry) -> Result<String, SpecError> {
+        let mut file = self.open_runs_for_read()?;
+        self.read_record_line_at(&mut file, entry)
+    }
+
+    /// [`Self::read_record_line`] over an already open handle
+    /// ([`Self::open_runs_for_read`]) — hot loops like merge replay read
+    /// thousands of records without reopening the file each time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the bytes cannot be read.
+    pub fn read_record_line_at(
+        &self,
+        file: &mut File,
+        entry: &RecordEntry,
+    ) -> Result<String, SpecError> {
+        read_line_at(file, entry, &self.runs_path())
+    }
+
+    /// Replays the indexed log in run-index order, handing each parsed
+    /// [`RunResult`] to `fold` **one at a time** — the record is dropped the
+    /// moment the fold returns, so replay retains O(1) runs regardless of
+    /// campaign size. Indices with no stored record are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if a record cannot be re-read or re-parsed
+    /// (the log changed underneath the index).
+    pub fn replay(
+        &self,
+        index: &LogIndex,
+        mut fold: impl FnMut(RunResult),
+    ) -> Result<(), SpecError> {
+        let path = self.runs_path();
+        let mut file = File::open(&path)
+            .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+        for entry in index.entries.iter().flatten() {
+            let line = read_line_at(&mut file, entry, &path)?;
+            let record: RunResult = serde_json::from_str(line.trim()).map_err(|e| {
+                SpecError::new(format!(
+                    "record at byte {} of {} changed under the index: {e}",
+                    entry.offset,
+                    path.display()
+                ))
+            })?;
+            fold(record);
+        }
+        Ok(())
     }
 
     /// Truncates `runs.jsonl` to `valid_bytes` — called by [`resume`] when a
@@ -353,9 +550,27 @@ impl CampaignDir {
     }
 }
 
+/// Reads the raw line bytes of `entry` from an open `runs.jsonl` handle.
+fn read_line_at(file: &mut File, entry: &RecordEntry, path: &Path) -> Result<String, SpecError> {
+    file.seek(SeekFrom::Start(entry.offset))
+        .map_err(|e| SpecError::new(format!("cannot seek in {}: {e}", path.display())))?;
+    let mut bytes = vec![0u8; entry.len];
+    file.read_exact(&mut bytes)
+        .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+    String::from_utf8(bytes).map_err(|e| {
+        SpecError::new(format!(
+            "record at byte {} of {} is not UTF-8: {e}",
+            entry.offset,
+            path.display()
+        ))
+    })
+}
+
 /// Executes `spec` streaming into a fresh campaign directory at `root`:
-/// every finished run is appended to `runs.jsonl` as it completes, and the
-/// final report lands in `report.json`.
+/// every finished run is appended to `runs.jsonl` as it completes (and
+/// dropped — no result set is retained), then the report is built by
+/// replaying the log through the shared [`ReportAccumulator`] and lands in
+/// `report.json`.
 ///
 /// The returned report is byte-identical to [`Executor::execute`] +
 /// [`CampaignReport::build`] on the same spec.
@@ -389,41 +604,104 @@ pub fn run_streaming_expanded(
 ) -> Result<CampaignReport, SpecError> {
     let dir = CampaignDir::create(root, spec, runs.len())?;
     let mut writer = dir.open_runs_for_append()?;
-    let results = stream_missing(executor, spec, runs, &dir, &mut writer)?;
-    finalize(executor, &dir, spec, results)
+    stream_pending(executor, spec, runs, &dir, &mut writer)?;
+    drop(writer);
+    let index = dir.index_log(runs)?;
+    report_from_log(executor, &dir, spec, runs, &index)
 }
 
-/// Executes `pending` runs, appending each result as it completes; a failed
-/// append aborts the pool (in-flight runs finish and are discarded) so a
-/// full disk cannot burn the rest of a long campaign on unpersistable work.
-fn stream_missing(
+/// Executes a shard of `spec`: the strided slice `shard` of the run matrix,
+/// streamed into an ordinary campaign directory at `root` whose manifest
+/// records the slice. No report is built — a shard is not a whole campaign;
+/// [`crate::merge::merge`] reunites the shards and builds it.
+///
+/// Returns the number of runs the shard owns (all of them executed).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on an invalid spec or slice, an
+/// already-initialized directory, or any I/O failure.
+pub fn run_shard(
+    executor: &Executor,
+    spec: &CampaignSpec,
+    shard: ShardSlice,
+    root: impl Into<PathBuf>,
+) -> Result<usize, SpecError> {
+    let runs = grid::expand(spec)?;
+    run_shard_expanded(executor, spec, &runs, shard, root)
+}
+
+/// [`run_shard`] over an already expanded run matrix (callers that expanded
+/// the grid for their own bookkeeping — e.g. the CLI's progress line —
+/// avoid paying for expansion twice).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on an invalid spec or slice, an
+/// already-initialized directory, or any I/O failure.
+pub fn run_shard_expanded(
+    executor: &Executor,
+    spec: &CampaignSpec,
+    runs: &[RunSpec],
+    shard: ShardSlice,
+    root: impl Into<PathBuf>,
+) -> Result<usize, SpecError> {
+    if shard.count == 0 || shard.index >= shard.count {
+        return Err(SpecError::new(format!(
+            "shard {}/{} is not a valid slice (need 0 <= index < count)",
+            shard.index, shard.count
+        )));
+    }
+    let owned: Vec<RunSpec> = shard
+        .owned_indices(runs.len())
+        .map(|i| runs[i].clone())
+        .collect();
+    let dir = CampaignDir::create_with_shard(root, spec, runs.len(), Some(shard))?;
+    let mut writer = dir.open_runs_for_append()?;
+    stream_pending(executor, spec, &owned, &dir, &mut writer)?;
+    Ok(owned.len())
+}
+
+/// Executes `pending` runs, appending each result the moment it completes
+/// and dropping it — the pool retains no result set. A failed append aborts
+/// the pool (in-flight runs finish and are discarded) so a full disk cannot
+/// burn the rest of a long campaign on unpersistable work.
+fn stream_pending(
     executor: &Executor,
     spec: &CampaignSpec,
     pending: &[RunSpec],
     dir: &CampaignDir,
     writer: &mut File,
-) -> Result<Vec<RunResult>, SpecError> {
+) -> Result<(), SpecError> {
     let mut write_error: Option<SpecError> = None;
-    let results = executor.try_execute_runs_with(&spec.sim, pending, |result| {
-        match dir.append_result(writer, result) {
+    let done = executor.try_run_jobs_foreach(
+        pending,
+        |run| execute_run(&spec.sim, run),
+        |_, result| match dir.append_result(writer, &result) {
             Ok(()) => true,
             Err(e) => {
                 write_error = Some(e);
                 false
             }
-        }
-    });
-    match (results, write_error) {
-        (Some(results), None) => Ok(results),
+        },
+    );
+    match (done, write_error) {
+        (Some(()), None) => Ok(()),
         (_, Some(e)) => Err(e),
         (None, None) => unreachable!("pool aborts only after a write error"),
     }
 }
 
-/// Resumes the campaign stored at `root`: verifies the manifest fingerprint
-/// (against `expected_spec` too, when given), re-executes only the run
-/// indices with no stored JSONL record, appends them, and rebuilds the
-/// report — byte-identical to an uninterrupted run.
+/// Resumes the campaign (or shard) stored at `root`: verifies the manifest
+/// fingerprint (against `expected_spec` too, when given), re-executes only
+/// the owned run indices with no stored JSONL record, and appends them.
+///
+/// For a whole-campaign directory the report is then rebuilt by replaying
+/// the completed log through the shared [`ReportAccumulator`] —
+/// byte-identical to an uninterrupted run — and returned. For a shard
+/// directory (the manifest records a [`ShardSlice`]) no report exists to
+/// build, so `Ok(None)` is returned once the shard's runs are all stored;
+/// merge the shards to obtain the report.
 ///
 /// # Errors
 ///
@@ -434,7 +712,7 @@ pub fn resume(
     executor: &Executor,
     root: impl Into<PathBuf>,
     expected_spec: Option<&CampaignSpec>,
-) -> Result<CampaignReport, SpecError> {
+) -> Result<Option<CampaignReport>, SpecError> {
     let dir = CampaignDir::open(root)?;
     let manifest = dir.manifest()?;
     if let Some(expected) = expected_spec {
@@ -458,43 +736,65 @@ pub fn resume(
             runs.len()
         )));
     }
-    let scan = dir.scan(&runs)?;
-    let missing = scan.missing_indices();
-    let mut results = scan.results;
-    if !missing.is_empty() {
-        if scan.truncated_tail {
-            // Drop the torn record so the next append starts a fresh line
-            // — otherwise the first re-executed record merges into the
-            // partial one and corrupts the log for every later resume.
-            dir.truncate_runs_to(scan.valid_bytes)?;
-        }
+    let index = dir.index_log(&runs)?;
+    if index.truncated_tail {
+        // Heal the log: drop the torn record so the next append starts a
+        // fresh line — otherwise the first re-executed record merges into
+        // the partial one and corrupts the log for every later resume.
+        dir.truncate_runs_to(index.valid_bytes)?;
+    }
+    let missing: Vec<usize> = match manifest.shard {
+        Some(shard) => index
+            .missing_indices()
+            .into_iter()
+            .filter(|&i| shard.owns(i))
+            .collect(),
+        None => index.missing_indices(),
+    };
+    let appended = !missing.is_empty();
+    if appended {
         let pending: Vec<RunSpec> = missing.iter().map(|&i| runs[i].clone()).collect();
         let mut writer = dir.open_runs_for_append()?;
-        let fresh = stream_missing(executor, &spec, &pending, &dir, &mut writer)?;
-        for result in fresh {
-            let index = result.spec.index;
-            results[index] = Some(result);
-        }
+        stream_pending(executor, &spec, &pending, &dir, &mut writer)?;
     }
-    let results: Vec<RunResult> = results
-        .into_iter()
-        .map(|r| r.expect("every run index is stored or re-executed"))
-        .collect();
-    finalize(executor, &dir, &spec, results)
+    if manifest.shard.is_some() {
+        return Ok(None);
+    }
+    // Re-index only if records were appended; a clean resume of a completed
+    // campaign replays the index it already has instead of parsing the
+    // whole log a second time. (Healing the torn tail never invalidates the
+    // index — every indexed record ends at or before `valid_bytes`.)
+    let index = if appended {
+        dir.index_log(&runs)?
+    } else {
+        index
+    };
+    report_from_log(executor, &dir, &spec, &runs, &index).map(Some)
 }
 
-/// Builds the final report (eval phase on the pool) and persists it.
-fn finalize(
+/// Builds and persists the report of a campaign directory whose `index` is
+/// complete, by replaying the run log through the shared
+/// [`ReportAccumulator`] — one record at a time, in run-index order, never
+/// materializing the result set.
+fn report_from_log(
     executor: &Executor,
     dir: &CampaignDir,
     spec: &CampaignSpec,
-    results: Vec<RunResult>,
+    runs: &[RunSpec],
+    index: &LogIndex,
 ) -> Result<CampaignReport, SpecError> {
-    let outcome = CampaignOutcome {
-        spec: spec.clone(),
-        runs: results,
-    };
-    let report = CampaignReport::build_with(&outcome, executor)?;
+    let missing = index.missing_indices();
+    if !missing.is_empty() {
+        return Err(SpecError::new(format!(
+            "run log {} is missing {} of {} records; resume the campaign first",
+            dir.runs_path().display(),
+            missing.len(),
+            runs.len()
+        )));
+    }
+    let mut acc = ReportAccumulator::for_spec(spec)?;
+    dir.replay(index, |result| acc.fold(&result))?;
+    let report = acc.finish(executor)?;
     dir.write_report(&report)?;
     Ok(report)
 }
@@ -534,6 +834,24 @@ mod tests {
     }
 
     #[test]
+    fn shard_slices_partition_every_matrix() {
+        for total in [0usize, 1, 5, 12, 97] {
+            for count in 1usize..=5 {
+                let mut seen = vec![false; total];
+                for index in 0..count {
+                    let slice = ShardSlice { index, count };
+                    for i in slice.owned_indices(total) {
+                        assert!(!seen[i], "index {i} owned by two slices");
+                        assert!(slice.owns(i));
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "total {total} count {count}");
+            }
+        }
+    }
+
+    #[test]
     fn create_refuses_an_initialized_directory() {
         let root = temp_root("create");
         let spec = tiny_spec();
@@ -557,13 +875,61 @@ mod tests {
             report.to_json()
         );
         // A completed campaign resumes with nothing to do, byte-identically.
-        let resumed = resume(&Executor::new(3), &root, Some(&spec)).unwrap();
+        let resumed = resume(&Executor::new(3), &root, Some(&spec))
+            .unwrap()
+            .unwrap();
         assert_eq!(resumed.to_json(), report.to_json());
         std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn scan_tolerates_only_a_truncated_final_line() {
+    fn shard_run_streams_only_owned_indices_and_no_report() {
+        let root = temp_root("shard");
+        let spec = tiny_spec();
+        let total = grid::expand(&spec).unwrap().len();
+        let shard = ShardSlice { index: 1, count: 2 };
+        let executed = run_shard(&Executor::new(2), &spec, shard, &root).unwrap();
+        assert_eq!(executed, shard.owned_indices(total).count());
+        assert!(!root.join(REPORT_FILE).exists(), "shards build no report");
+
+        let dir = CampaignDir::open(&root).unwrap();
+        let manifest = dir.manifest().unwrap();
+        assert_eq!(manifest.shard, Some(shard));
+        assert_eq!(manifest.total_runs, total);
+        let index = dir.index_log(&grid::expand(&spec).unwrap()).unwrap();
+        assert_eq!(index.completed(), executed);
+        for (i, entry) in index.entries.iter().enumerate() {
+            assert_eq!(entry.is_some(), shard.owns(i));
+        }
+        // A complete shard resumes to Ok(None) with nothing re-executed.
+        let log_before = std::fs::read_to_string(dir.runs_path()).unwrap();
+        assert!(resume(&Executor::new(2), &root, Some(&spec))
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            std::fs::read_to_string(dir.runs_path()).unwrap(),
+            log_before
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn invalid_shard_slices_are_refused() {
+        let spec = tiny_spec();
+        for (index, count) in [(0, 0), (2, 2), (5, 3)] {
+            let err = run_shard(
+                &Executor::new(1),
+                &spec,
+                ShardSlice { index, count },
+                temp_root("badshard"),
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("not a valid slice"), "{err}");
+        }
+    }
+
+    #[test]
+    fn index_tolerates_only_a_truncated_final_line() {
         let root = temp_root("scan");
         let spec = tiny_spec();
         run_streaming(&Executor::new(1), &spec, &root).unwrap();
@@ -578,16 +944,73 @@ mod tests {
         let whole = format!("{}\n", lines.join("\n"));
         let truncated = format!("{whole}{}", &tail[..tail.len() / 2]);
         std::fs::write(dir.runs_path(), truncated).unwrap();
-        let scan = dir.scan(&runs).unwrap();
-        assert!(scan.truncated_tail);
-        assert_eq!(scan.missing_indices(), vec![runs.len() - 1]);
-        assert_eq!(scan.valid_bytes, whole.len() as u64);
+        let index = dir.index_log(&runs).unwrap();
+        assert!(index.truncated_tail);
+        assert_eq!(index.missing_indices(), vec![runs.len() - 1]);
+        assert_eq!(index.valid_bytes, whole.len() as u64);
 
         // The same garbage mid-file is corruption, not a crash artifact.
         let garbled = format!("{}\n{}\n{}\n", &tail[..tail.len() / 2], lines[0], tail);
         std::fs::write(dir.runs_path(), garbled).unwrap();
-        let err = dir.scan(&runs).unwrap_err();
+        let err = dir.index_log(&runs).unwrap_err();
         assert!(err.to_string().contains("corrupt record"), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn duplicate_records_dedupe_when_identical_and_fail_when_conflicting() {
+        let root = temp_root("dup");
+        let spec = tiny_spec();
+        run_streaming(&Executor::new(1), &spec, &root).unwrap();
+        let dir = CampaignDir::open(&root).unwrap();
+        let runs = grid::expand(&spec).unwrap();
+        let full = std::fs::read_to_string(dir.runs_path()).unwrap();
+        let first = full.lines().next().unwrap();
+
+        // An identical repeat dedupes cleanly (first wins).
+        std::fs::write(dir.runs_path(), format!("{full}{first}\n")).unwrap();
+        let index = dir.index_log(&runs).unwrap();
+        assert_eq!(index.completed(), runs.len());
+
+        // A conflicting repeat (same index, different payload) is an error.
+        let tampered = tamper_metric(first);
+        std::fs::write(dir.runs_path(), format!("{full}{tampered}\n")).unwrap();
+        let err = dir.index_log(&runs).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Alters a record's `packets_created` count, keeping the JSON valid and
+    /// the embedded run spec untouched — a payload conflict, not corruption.
+    pub(crate) fn tamper_metric(line: &str) -> String {
+        let mut record: RunResult = serde_json::from_str(line).unwrap();
+        record.metrics.packets_created += 1;
+        serde_json::to_string(&record).unwrap()
+    }
+
+    #[test]
+    fn replay_hands_records_over_one_at_a_time_in_index_order() {
+        let root = temp_root("replay");
+        let spec = tiny_spec();
+        run_streaming(&Executor::new(2), &spec, &root).unwrap();
+        let dir = CampaignDir::open(&root).unwrap();
+        let runs = grid::expand(&spec).unwrap();
+        let index = dir.index_log(&runs).unwrap();
+
+        let mut seen = Vec::new();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        dir.replay(&index, |record| {
+            live += 1;
+            peak = peak.max(live);
+            seen.push(record.spec.index);
+            // `record` is dropped here — replay retains nothing between
+            // calls, so `live` can never exceed one.
+            live -= 1;
+        })
+        .unwrap();
+        assert_eq!(seen, (0..runs.len()).collect::<Vec<_>>());
+        assert_eq!(peak, 1, "replay must materialize one record at a time");
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -1,10 +1,12 @@
 //! Property tests of the spec and streaming codecs: TOML/JSON spec
 //! round-trips over arbitrary grids, lossless RunResult JSONL
-//! encode/decode, and resume-after-arbitrary-prefix scan recovery.
+//! encode/decode, resume-after-arbitrary-prefix scan recovery, and
+//! shard-merge byte-identity over arbitrary partitions of the run matrix.
 
 use dl2fence_campaign::stream::{CampaignDir, RUNS_FILE};
 use dl2fence_campaign::{
-    expand, resume, run_streaming, spec_fingerprint, CampaignSpec, Executor, RunResult,
+    expand, merge, resume, run_streaming, spec_fingerprint, CampaignOutcome, CampaignReport,
+    CampaignSpec, Executor, RunMetrics, RunResult, RunSpec,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -112,6 +114,79 @@ fn temp_root(tag: &str) -> PathBuf {
     root
 }
 
+/// splitmix64 — the partition/shuffle randomness of the merge properties
+/// (deterministic per drawn seed, independent of the engine's own seeding).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// In-place Fisher–Yates driven by [`splitmix`].
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    for i in (1..items.len()).rev() {
+        state = splitmix(state);
+        items.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
+/// A deterministic synthetic result for `run` — exactly lossless under the
+/// JSONL codec, so grid-arbitrary merge properties need no simulation.
+fn synthetic_result(run: &RunSpec) -> RunResult {
+    let i = run.index as f64;
+    RunResult {
+        spec: run.clone(),
+        metrics: RunMetrics {
+            packet_latency: 10.0 + i * 0.5,
+            packet_queue_latency: 2.0 + i * 0.25,
+            flit_latency: 8.0 + i * 0.125,
+            flit_queue_latency: 1.0 + i,
+            packets_created: 1000 + run.index as u64,
+            packets_received: 900 + run.index as u64,
+            malicious_packets_received: run.index as u64 % 7,
+            saturated: run.index.is_multiple_of(3),
+            energy_nj: 5000.0 + i * 3.0,
+            power_mw: 12.0 + i * 0.0625,
+        },
+        samples: Vec::new(),
+    }
+}
+
+/// Writes `results` partitioned into `count` campaign directories under
+/// `base` (run `i` goes to the shard `assign(i)` picks), each shard's log
+/// in a drawn completion order, and returns the shard paths.
+fn write_partitioned_shards(
+    base: &std::path::Path,
+    spec: &CampaignSpec,
+    results: &[RunResult],
+    count: usize,
+    assign: impl Fn(usize) -> usize,
+    shuffle_seed: u64,
+) -> Vec<PathBuf> {
+    let mut buckets: Vec<Vec<&RunResult>> = (0..count).map(|_| Vec::new()).collect();
+    for (i, result) in results.iter().enumerate() {
+        buckets[assign(i) % count].push(result);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(s, mut bucket)| {
+            // Out-of-order completion within the shard.
+            shuffle(&mut bucket, splitmix(shuffle_seed ^ s as u64));
+            let root = base.join(format!("shard-{s}"));
+            CampaignDir::create(&root, spec, results.len()).unwrap();
+            let log: String = bucket
+                .iter()
+                .map(|r| format!("{}\n", serde_json::to_string(r).unwrap()))
+                .collect();
+            std::fs::write(root.join(RUNS_FILE), log).unwrap();
+            root
+        })
+        .collect()
+}
+
 proptest! {
     #[test]
     fn spec_round_trips_through_toml_and_json(
@@ -206,14 +281,105 @@ proptest! {
         }
         std::fs::write(dir.runs_path(), &jsonl).map_err(|e| e.to_string())?;
 
-        let scan = dir.scan(&runs).map_err(|e| e.to_string())?;
-        prop_assert_eq!(scan.completed(), keep);
+        let index = dir.index_log(&runs).map_err(|e| e.to_string())?;
+        prop_assert_eq!(index.completed(), keep);
         prop_assert_eq!(
-            scan.missing_indices(),
+            index.missing_indices(),
             (keep..results.len()).collect::<Vec<_>>()
         );
         std::fs::remove_dir_all(&root).map_err(|e| e.to_string())?;
     }
+}
+
+proptest! {
+    /// Satellite of the sharding tentpole: for **arbitrary spec grids** and
+    /// **arbitrary partitions** of the run matrix into 1–5 shards (strided
+    /// like `campaign shard`, or fully irregular), with out-of-order
+    /// completion inside every shard, `merge` rebuilds the report
+    /// byte-identically to the single uninterrupted aggregation of the same
+    /// runs. Results are synthetic (losslessly codable), so the property
+    /// sweeps grids without paying for simulation.
+    #[test]
+    fn merge_of_any_partition_of_any_grid_is_byte_identical(
+        mesh_a in 2usize..10,
+        fir_pct in 1u64..101,
+        workload_i in 0usize..6,
+        workload_j in 0usize..6,
+        placements in 1usize..5,
+        benign in 0usize..4,
+        seed in 0u64..1_000_000_000_000,
+        shards in 1usize..6,
+        assign_seed in 0u64..u64::MAX,
+        shuffle_seed in 0u64..u64::MAX,
+        strided in 0usize..2,
+    ) {
+        let spec = build_spec(
+            mesh_a, mesh_a, fir_pct, workload_i, workload_j, placements,
+            benign, seed, 20_000, seed as usize % 6,
+        );
+        let runs = expand(&spec).map_err(|e| e.to_string())?;
+        let results: Vec<RunResult> = runs.iter().map(synthetic_result).collect();
+        let reference = CampaignReport::build_with(
+            &CampaignOutcome { spec: spec.clone(), runs: results.clone() },
+            &Executor::new(1),
+        )
+        .map_err(|e| e.to_string())?
+        .to_json();
+
+        let base = temp_root("merge-grid");
+        let inputs = write_partitioned_shards(
+            &base,
+            &spec,
+            &results,
+            shards,
+            |i| if strided == 0 { i } else { (splitmix(assign_seed ^ i as u64)) as usize },
+            shuffle_seed,
+        );
+        let merged = merge(&Executor::new(1), &inputs, base.join("merged"))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(merged.to_json(), reference);
+        std::fs::remove_dir_all(&base).map_err(|e| e.to_string())?;
+    }
+
+    /// The same partition property over **real simulated runs** (frame
+    /// payloads included): any 1–5-way split of the shared seed campaign's
+    /// records, shuffled within each shard, merges back byte-identically to
+    /// the uninterrupted `campaign run` report.
+    #[test]
+    fn merge_of_any_partition_of_simulated_runs_is_byte_identical(
+        shards in 1usize..6,
+        assign_seed in 0u64..u64::MAX,
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let (spec, results) = seed_results();
+        let reference = streamed_reference();
+        let base = temp_root("merge-sim");
+        let inputs = write_partitioned_shards(
+            &base,
+            spec,
+            results,
+            shards,
+            |i| (splitmix(assign_seed ^ i as u64)) as usize,
+            shuffle_seed,
+        );
+        let merged = merge(&Executor::new(2), &inputs, base.join("merged"))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(&merged.to_json(), reference);
+        std::fs::remove_dir_all(&base).map_err(|e| e.to_string())?;
+    }
+}
+
+/// The uninterrupted streaming report of [`seed_results`]' campaign,
+/// computed once and shared by the 256 merge-partition cases.
+fn streamed_reference() -> &'static String {
+    static REFERENCE: OnceLock<String> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let (spec, _) = seed_results();
+        let root = temp_root("merge-sim-reference");
+        let report = run_streaming(&Executor::new(2), spec, &root).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        report.to_json()
+    })
 }
 
 /// Full resume equality over every possible prefix length — the executable
@@ -239,7 +405,9 @@ fn resume_after_every_prefix_matches_the_uninterrupted_report() {
         std::fs::write(root.join(RUNS_FILE), &jsonl).unwrap();
         drop(dir);
 
-        let report = resume(&Executor::new(3), &root, Some(spec)).unwrap();
+        let report = resume(&Executor::new(3), &root, Some(spec))
+            .unwrap()
+            .unwrap();
         assert_eq!(report.to_json(), reference, "prefix {keep} diverged");
         std::fs::remove_dir_all(&root).unwrap();
     }

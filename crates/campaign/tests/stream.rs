@@ -83,7 +83,9 @@ fn kill_and_resume_reports_are_byte_identical_to_uninterrupted_and_in_memory() {
         truncated.push_str(&lines[keep][..lines[keep].len() / 2]);
         std::fs::write(crash_root.join("runs.jsonl"), truncated).unwrap();
 
-        let resumed = resume(&Executor::new(3), &crash_root, Some(&spec)).unwrap();
+        let resumed = resume(&Executor::new(3), &crash_root, Some(&spec))
+            .unwrap()
+            .expect("a whole-campaign directory resumes to a report");
         assert_eq!(
             resumed.to_json(),
             uninterrupted_json,
@@ -104,7 +106,9 @@ fn kill_and_resume_reports_are_byte_identical_to_uninterrupted_and_in_memory() {
             total,
             "resume after {keep}/{total} must heal the log to one record per run"
         );
-        let resumed_again = resume(&Executor::new(2), &crash_root, Some(&spec)).unwrap();
+        let resumed_again = resume(&Executor::new(2), &crash_root, Some(&spec))
+            .unwrap()
+            .unwrap();
         assert_eq!(resumed_again.to_json(), uninterrupted_json);
         std::fs::remove_dir_all(&crash_root).unwrap();
     }

@@ -69,7 +69,9 @@ fn main() {
     );
 
     // Resume re-executes only the missing indices and rebuilds the report.
-    let resumed = resume(&executor, &crashed, Some(&spec)).expect("resume");
+    let resumed = resume(&executor, &crashed, Some(&spec))
+        .expect("resume")
+        .expect("a whole-campaign directory resumes to a report");
     assert_eq!(
         resumed.to_json(),
         reference.to_json(),
