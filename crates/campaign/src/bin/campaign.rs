@@ -1,19 +1,21 @@
-//! The `campaign` CLI: expand, run, resume, shard, merge and inspect
-//! declarative scenario campaigns.
+//! The `campaign` CLI: expand, run, resume, shard, merge, compact and
+//! inspect declarative scenario campaigns.
 //!
 //! ```text
-//! campaign expand <spec.toml|spec.json>
-//! campaign run    <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
-//! campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
-//! campaign shard  <spec.toml|spec.json> --shards N --index I --out DIR
-//! campaign merge  <dir>... --out DIR [--workers N] [--quiet]
-//! campaign report <report.json>
+//! campaign expand  <spec.toml|spec.json>
+//! campaign run     <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
+//! campaign resume  <campaign-dir> [--spec PATH] [--workers N] [--quiet]
+//! campaign shard   <spec.toml|spec.json> --shards N --index I --out DIR
+//! campaign merge   <dir>... --out DIR [--workers N] [--quiet]
+//! campaign compact <campaign-dir> [--strip-samples] [--quiet]
+//! campaign status  <dir>... [--json]
+//! campaign report  <report.json>
 //! ```
 
-use dl2fence_campaign::stream::{run_shard_expanded, run_streaming_expanded};
+use dl2fence_campaign::stream::{run_shard_expanded, run_streaming_expanded_with};
 use dl2fence_campaign::{
-    expand, merge, resume, spec_fingerprint, CampaignOutcome, CampaignReport, CampaignSpec,
-    Executor, ShardSlice,
+    compact, expand, merge_with, resume_with, spec_fingerprint, status, CampaignOutcome,
+    CampaignReport, CampaignSpec, Executor, ShardSlice, SpillPolicy,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,12 +26,16 @@ usage:
   campaign expand <spec.toml|spec.json>
       Print the expanded run matrix as JSON (one run per line).
   campaign run <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
+               [--spill-threshold N | --no-spill]
       Execute the campaign. Without --out the aggregated JSON report goes to
       stdout; with --out DIR every finished run is streamed to DIR/runs.jsonl
       as it completes and the report lands in DIR/report.json (a DIR ending
-      in .json is treated as a plain report file instead).
+      in .json is treated as a plain report file instead). Eval-phase sample
+      pools spill to DIR/samples/ past --spill-threshold (default 65536)
+      unless --no-spill buffers them all in memory.
       --workers defaults to the machine's available parallelism.
   campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
+                  [--spill-threshold N | --no-spill]
       Resume an interrupted `run --out` or `shard` campaign: verify the
       stored spec fingerprint (and PATH's, when given), re-execute only the
       missing run indices, and — for whole-campaign directories — rebuild a
@@ -40,10 +46,23 @@ usage:
       to an ordinary campaign directory whose manifest records the slice.
       Run one shard per machine, collect the directories, then `merge`.
   campaign merge <dir>... --out DIR [--workers N] [--quiet]
+                 [--spill-threshold N | --no-spill]
       Merge shard directories sharing one spec fingerprint into DIR: the
       union of their run logs (identical duplicates dedupe; gaps and
-      conflicts are refused) plus a report.json byte-identical to an
-      uninterrupted single-machine run.
+      conflicts are refused) and sample stores, plus a report.json
+      byte-identical to an uninterrupted single-machine run.
+  campaign compact <campaign-dir> [--strip-samples] [--quiet]
+      Atomically rewrite DIR/runs.jsonl in run-index order with duplicate
+      records and any torn tail dropped. With --strip-samples, move each
+      record's labeled-sample payload into DIR/samples/ first and keep the
+      log scalar-only; the directory stays resumable and mergeable. Do not
+      compact while the campaign is still executing (records appended
+      during the rewrite would be lost) — status is the live-safe command.
+  campaign status <dir>... [--json]
+      Read-only progress inspection: per directory the stored/missing run
+      counts, exact gap list, shard slice, torn-tail state, log and spill
+      sizes; over several directories, the union gap list a merge would
+      refuse on. Safe to run while a campaign is executing.
   campaign report <report.json|campaign-dir>
       Render a saved report as a human-readable table.
 ";
@@ -67,6 +86,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("resume") => cmd_resume(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some("report") => cmd_report(args.get(1).ok_or("report needs a report path")?),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
@@ -84,6 +105,8 @@ struct ExecFlags {
     out: Option<PathBuf>,
     shards: Option<usize>,
     index: Option<usize>,
+    spill_threshold: Option<usize>,
+    no_spill: bool,
     quiet: bool,
 }
 
@@ -93,6 +116,7 @@ impl ExecFlags {
         allow_out: bool,
         allow_spec: bool,
         allow_shard: bool,
+        allow_spill: bool,
     ) -> Result<Self, String> {
         let mut flags = ExecFlags::default();
         let mut it = args.iter();
@@ -125,6 +149,14 @@ impl ExecFlags {
                             .map_err(|_| format!("invalid shard index `{v}`"))?,
                     );
                 }
+                "--spill-threshold" if allow_spill => {
+                    let v = it.next().ok_or("--spill-threshold needs a value")?;
+                    flags.spill_threshold = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("invalid spill threshold `{v}`"))?,
+                    );
+                }
+                "--no-spill" if allow_spill => flags.no_spill = true,
                 "--quiet" => flags.quiet = true,
                 other if !other.starts_with('-') => {
                     flags.paths.push(other.to_string());
@@ -132,7 +164,21 @@ impl ExecFlags {
                 other => return Err(format!("unexpected argument `{other}`")),
             }
         }
+        if flags.no_spill && flags.spill_threshold.is_some() {
+            return Err("--no-spill and --spill-threshold are mutually exclusive".to_string());
+        }
         Ok(flags)
+    }
+
+    fn spill_policy(&self) -> SpillPolicy {
+        if self.no_spill {
+            SpillPolicy::InMemory
+        } else {
+            match self.spill_threshold {
+                Some(threshold) => SpillPolicy::Threshold(threshold),
+                None => SpillPolicy::default(),
+            }
+        }
     }
 
     fn single_path(&self, what: &str) -> Result<&str, String> {
@@ -169,7 +215,7 @@ fn cmd_expand(path: &str) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, true, false, false)?;
+    let flags = ExecFlags::parse(args, true, false, false, true)?;
     let spec = load_spec(flags.single_path("run")?)?;
     let executor = flags.executor();
     let runs = expand(&spec).map_err(|e| e.to_string())?;
@@ -188,10 +234,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // else is a campaign directory that streams runs.jsonl.
         Some(path) if path.extension().and_then(|e| e.to_str()) != Some("json") => {
             let report =
-                run_streaming_expanded(&executor, &spec, &runs, path).map_err(|e| e.to_string())?;
+                run_streaming_expanded_with(&executor, &spec, &runs, path, flags.spill_policy())
+                    .map_err(|e| e.to_string())?;
             (report, Some(path.join("report.json")))
         }
         _ => {
+            if flags.spill_threshold.is_some() {
+                return Err(
+                    "--spill-threshold needs a campaign directory (run with --out DIR)".to_string(),
+                );
+            }
             let results = executor.execute_runs(&spec.sim, &runs);
             let outcome = CampaignOutcome {
                 spec,
@@ -211,7 +263,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, false, true, false)?;
+    let flags = ExecFlags::parse(args, false, true, false, true)?;
     let dir = flags.single_path("resume")?;
     let expected = match &flags.spec {
         Some(path) => Some(load_spec(path)?),
@@ -225,7 +277,9 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         );
     }
     let started = Instant::now();
-    match resume(&executor, dir, expected.as_ref()).map_err(|e| e.to_string())? {
+    match resume_with(&executor, dir, expected.as_ref(), flags.spill_policy())
+        .map_err(|e| e.to_string())?
+    {
         Some(report) => finish(
             &report,
             started,
@@ -247,7 +301,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_shard(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, true, false, true)?;
+    let flags = ExecFlags::parse(args, true, false, true, false)?;
     let spec = load_spec(flags.single_path("shard")?)?;
     let shard = ShardSlice {
         index: flags.index.ok_or("shard needs --index I")?,
@@ -283,7 +337,7 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_merge(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, true, false, false)?;
+    let flags = ExecFlags::parse(args, true, false, false, true)?;
     if flags.paths.is_empty() {
         return Err("merge needs at least one shard directory".to_string());
     }
@@ -299,13 +353,71 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
         );
     }
     let started = Instant::now();
-    let report = merge(&executor, &inputs, &out).map_err(|e| e.to_string())?;
+    let report =
+        merge_with(&executor, &inputs, &out, flags.spill_policy()).map_err(|e| e.to_string())?;
     finish(
         &report,
         started,
         Some(&out.join("report.json")),
         flags.quiet,
     );
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let mut strip_samples = false;
+    let mut quiet = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--strip-samples" => strip_samples = true,
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let [dir] = paths.as_slice() else {
+        return Err("compact takes exactly one campaign directory".to_string());
+    };
+    let stats = compact(dir, strip_samples).map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!(
+            "compacted {dir}: {} records, {} duplicate(s) dropped{}{}; {} -> {} bytes",
+            stats.records,
+            stats.dropped_duplicates,
+            if stats.healed_torn_tail {
+                ", torn tail healed"
+            } else {
+                ""
+            },
+            if stats.stripped_samples > 0 {
+                format!(", {} samples stripped to samples/", stats.stripped_samples)
+            } else {
+                String::new()
+            },
+            stats.bytes_before,
+            stats.bytes_after,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let report = status(&paths).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     Ok(())
 }
 

@@ -32,10 +32,18 @@
 //!    and [`merge`](merge::merge) reunites shard directories (verifying
 //!    fingerprints, deduplicating identical records, refusing gaps and
 //!    conflicts) into a report byte-identical to a single-machine run.
+//! 7. **Bounded memory end to end** — the eval phase's per-mesh sample
+//!    pools (the one remaining campaign-sized buffer) spill to a
+//!    [`spill::SampleStore`] inside the campaign directory past a
+//!    configurable threshold ([`SpillPolicy`]), [`compact`] rewrites
+//!    `runs.jsonl` atomically into index-ordered, deduplicated form
+//!    (optionally stripping sample payloads into the store), and
+//!    [`status`] inspects any set of campaign directories read-only.
 //!
 //! The `campaign` binary exposes the engine on the command line
-//! (`expand` / `run` / `resume` / `shard` / `merge` / `report`), and the
-//! benchmark harness's table and figure binaries are built on top of it.
+//! (`expand` / `run` / `resume` / `shard` / `merge` / `compact` /
+//! `status` / `report`), and the benchmark harness's table and figure
+//! binaries are built on top of it.
 //!
 //! ## Quick example
 //!
@@ -64,23 +72,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod executor;
 pub mod grid;
 pub mod merge;
 pub mod minitoml;
 pub mod report;
 pub mod spec;
+pub mod spill;
+pub mod status;
 pub mod stream;
 
+pub use compact::{compact, CompactStats};
 pub use executor::{execute_run, CampaignOutcome, Executor, RunMetrics, RunResult};
 pub use grid::{derive_run_seed, expand, runs_from_scenarios, RunSpec};
-pub use merge::merge;
+pub use merge::{merge, merge_with};
 pub use report::{split_by_benchmark, CampaignReport, EvalEntry, GroupSummary, ReportAccumulator};
 pub use spec::{
     parse_feature, parse_workload, validate_group_by, CampaignSpec, EvalSpec, GridSpec, ReportSpec,
     SimParams, SpecError,
 };
+pub use spill::{SampleBatch, SampleStore, SpillStats};
+pub use status::{status, DirStatus, StatusReport};
 pub use stream::{
-    resume, run_shard, run_streaming, spec_fingerprint, CampaignDir, LogIndex, Manifest,
-    RecordEntry, ShardSlice,
+    resume, resume_with, run_shard, run_streaming, spec_fingerprint, CampaignDir, LogIndex,
+    Manifest, RecordEntry, ShardSlice, SpillPolicy, DEFAULT_SPILL_THRESHOLD,
 };

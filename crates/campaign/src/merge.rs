@@ -29,7 +29,8 @@ use crate::executor::Executor;
 use crate::grid::{self, RunSpec};
 use crate::report::{CampaignReport, ReportAccumulator};
 use crate::spec::{CampaignSpec, SpecError};
-use crate::stream::{CampaignDir, LogIndex, RecordEntry};
+use crate::spill::SampleStore;
+use crate::stream::{spec_fingerprint, CampaignDir, LogIndex, RecordEntry, SpillPolicy};
 use std::fs::File;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -78,6 +79,21 @@ pub fn merge(
     inputs: &[PathBuf],
     out: impl Into<PathBuf>,
 ) -> Result<CampaignReport, SpecError> {
+    merge_with(executor, inputs, out, SpillPolicy::default())
+}
+
+/// [`merge`] with an explicit [`SpillPolicy`] for the report-building
+/// phase of the merged directory.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] under the same conditions as [`merge`].
+pub fn merge_with(
+    executor: &Executor,
+    inputs: &[PathBuf],
+    out: impl Into<PathBuf>,
+    spill: SpillPolicy,
+) -> Result<CampaignReport, SpecError> {
     let (spec, runs, mut sources) = index_inputs(inputs)?;
     let union = unite(&runs, &mut sources)?;
 
@@ -85,8 +101,28 @@ pub fn merge(
     // into the merged log and fold the parsed record into the accumulator —
     // one record in memory at a time, one open handle per source.
     let out_dir = CampaignDir::create(out, &spec, runs.len())?;
+    let fingerprint = spec_fingerprint(&spec);
+    let out_store = unite_sample_stores(&sources, &out_dir, &fingerprint)?;
     let mut writer = out_dir.open_runs_for_append()?;
     let mut acc = ReportAccumulator::for_spec(&spec)?;
+    if spec.eval.enabled {
+        // The merged directory aggregates under the requested spill policy;
+        // a store carried over from stripped inputs must be attached even
+        // under `InMemory`, or the stripped records' samples stay invisible.
+        match (spill, out_store) {
+            (SpillPolicy::Threshold(threshold), store) => {
+                let store = match store {
+                    Some(store) => store,
+                    None => SampleStore::attach(out_dir.samples_path(), &fingerprint)?,
+                };
+                acc = acc.with_spill(store, threshold);
+            }
+            (SpillPolicy::InMemory, Some(store)) => {
+                acc = acc.with_spill(store, usize::MAX);
+            }
+            (SpillPolicy::InMemory, None) => {}
+        }
+    }
     for (source_id, entry) in union {
         let source = &mut sources[source_id];
         let line = source.read_record(&entry)?;
@@ -100,7 +136,7 @@ pub fn merge(
                     out_dir.runs_path().display()
                 ))
             })?;
-        acc.fold(&record);
+        acc.try_fold(&record)?;
     }
     writer
         .flush()
@@ -110,6 +146,35 @@ pub fn merge(
     let report = acc.finish(executor)?;
     out_dir.write_report(&report)?;
     Ok(report)
+}
+
+/// Unions the inputs' spilled sample stores (if any) into the merged
+/// directory's store, batch by batch in input order — identical duplicate
+/// batches dedupe (shards re-spilled after a resume overlap), conflicting
+/// ones abort. Returns `None` when no input carries a store.
+fn unite_sample_stores(
+    sources: &[MergeSource],
+    out_dir: &CampaignDir,
+    fingerprint: &str,
+) -> Result<Option<SampleStore>, SpecError> {
+    let mut out_store: Option<SampleStore> = None;
+    for source in sources {
+        let Some(in_store) =
+            SampleStore::open_existing(source.dir.samples_path(), Some(fingerprint))?
+        else {
+            continue;
+        };
+        if out_store.is_none() {
+            out_store = Some(SampleStore::attach(out_dir.samples_path(), fingerprint)?);
+        }
+        let out = out_store.as_mut().expect("just attached");
+        for mesh in in_store.meshes() {
+            in_store.for_each_raw(mesh, |index, line| {
+                out.append_line(mesh, index, line).map(|_| ())
+            })?;
+        }
+    }
+    Ok(out_store)
 }
 
 /// Opens every input, verifies the shared fingerprint and run-matrix size,

@@ -18,6 +18,7 @@
 
 use crate::executor::{CampaignOutcome, Executor, RunResult};
 use crate::spec::{parse_feature, validate_group_by, CampaignSpec, EvalSpec, SpecError};
+use crate::spill::SampleStore;
 use dl2fence::evaluation::evaluate;
 use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
 use noc_monitor::LabeledSample;
@@ -306,11 +307,75 @@ impl GroupAccumulator {
 /// One per-mesh sample pool feeding the eval phase: the only thing the
 /// accumulator retains from a run beyond scalar aggregates, and only when
 /// the eval phase is enabled.
+///
+/// Samples are buffered as index-tagged per-run batches so a spill-mode
+/// accumulator can move them to a [`SampleStore`] and later reunite disk
+/// and memory in run-index order — which equals buffer order, because every
+/// aggregation path folds in run-index order.
 #[derive(Debug)]
 struct EvalPool {
     mesh: usize,
     seed: u64,
+    /// In-memory `(run index, samples)` batches, in fold order.
+    batches: Vec<(usize, Vec<LabeledSample>)>,
+    /// Samples currently buffered in `batches`.
+    retained: usize,
+    /// Samples moved to the spill store so far.
+    spilled: usize,
+}
+
+/// A spill-mode accumulator's disk side: the store plus the in-memory
+/// sample count that triggers a spill.
+#[derive(Debug)]
+struct SpillState {
+    store: SampleStore,
+    threshold: usize,
+}
+
+/// One mesh pool with its samples reunited into a flat, fold-ordered
+/// vector — what the eval phase trains on.
+struct AssembledPool {
+    mesh: usize,
+    seed: u64,
     samples: Vec<LabeledSample>,
+}
+
+impl EvalPool {
+    /// Flattens the pool for the eval phase. Without a store the in-memory
+    /// batches concatenate in buffer order (the historical layout); with
+    /// one, spilled and buffered batches interleave in run-index order —
+    /// the same thing, since folds happen in run-index order everywhere.
+    fn assemble(self, store: Option<&SampleStore>) -> Result<AssembledPool, SpecError> {
+        let EvalPool {
+            mesh,
+            seed,
+            batches,
+            ..
+        } = self;
+        let mut combined = batches;
+        if let Some(store) = store {
+            // A fresh in-memory batch wins over its spilled twin (they are
+            // byte-identical — runs are deterministic); the set lookup keeps
+            // reassembly linear in the number of spilled batches.
+            let in_memory: std::collections::HashSet<usize> =
+                combined.iter().map(|(i, _)| *i).collect();
+            store.replay_pool(mesh, |batch| {
+                if !in_memory.contains(&batch.index) {
+                    combined.push((batch.index, batch.samples));
+                }
+            })?;
+            combined.sort_by_key(|(i, _)| *i);
+        }
+        let samples = combined
+            .into_iter()
+            .flat_map(|(_, samples)| samples)
+            .collect();
+        Ok(AssembledPool {
+            mesh,
+            seed,
+            samples,
+        })
+    }
 }
 
 /// Streaming report builder: folds [`RunResult`]s one at a time, in run-
@@ -334,6 +399,7 @@ pub struct ReportAccumulator {
     attack_runs: usize,
     groups: Vec<GroupAccumulator>,
     eval_pools: Vec<EvalPool>,
+    spill: Option<SpillState>,
 }
 
 impl ReportAccumulator {
@@ -371,13 +437,48 @@ impl ReportAccumulator {
             attack_runs: 0,
             groups: Vec::new(),
             eval_pools: Vec::new(),
+            spill: None,
         })
+    }
+
+    /// Puts the accumulator in spill mode: whenever the buffered eval
+    /// samples reach `threshold`, every buffered batch is appended to
+    /// `store` and dropped from memory, bounding [`Self::retained_samples`]
+    /// regardless of campaign size. At [`Self::finish`] the spilled batches
+    /// are replayed back (in run-index order, interleaved with whatever is
+    /// still in memory), so the final report is byte-identical to the
+    /// unspilled build.
+    ///
+    /// A spill-mode accumulator must be fed through [`Self::try_fold`]
+    /// (spilling does I/O); pass `usize::MAX` to attach a store whose
+    /// existing batches should feed the eval phase (stripped run logs)
+    /// without ever spilling fresh folds.
+    pub fn with_spill(mut self, store: SampleStore, threshold: usize) -> Self {
+        self.spill = Some(SpillState { store, threshold });
+        self
     }
 
     /// Folds one run into the aggregates. Call in run-index order — the
     /// fold order fixes both group ordering (first-seen) and the f64
     /// summation order, which is what the byte-identity guarantee rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured spill store fails to accept a batch — use
+    /// [`Self::try_fold`] on spill-mode accumulators to handle the error.
     pub fn fold(&mut self, run: &RunResult) {
+        self.try_fold(run)
+            .expect("fold cannot fail without a spill store; use try_fold");
+    }
+
+    /// [`Self::fold`], surfacing spill I/O errors — the entry point every
+    /// spill-mode caller uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if buffered samples hit the spill threshold
+    /// and the store cannot accept them.
+    pub fn try_fold(&mut self, run: &RunResult) -> Result<(), SpecError> {
         self.total_runs += 1;
         self.attack_runs += usize::from(run.spec.is_attack());
         let key: Vec<(String, String)> = self
@@ -400,13 +501,30 @@ impl ReportAccumulator {
                     self.eval_pools.push(EvalPool {
                         mesh: run.spec.mesh,
                         seed: run.spec.campaign_seed,
-                        samples: Vec::new(),
+                        batches: Vec::new(),
+                        retained: 0,
+                        spilled: 0,
                     });
                     self.eval_pools.last_mut().expect("just pushed")
                 }
             };
-            pool.samples.extend(run.samples.iter().cloned());
+            if !run.samples.is_empty() {
+                pool.retained += run.samples.len();
+                pool.batches.push((run.spec.index, run.samples.clone()));
+            }
+            if let Some(spill) = &mut self.spill {
+                if self.eval_pools.iter().map(|p| p.retained).sum::<usize>() >= spill.threshold {
+                    for pool in &mut self.eval_pools {
+                        for (index, samples) in pool.batches.drain(..) {
+                            pool.spilled += samples.len();
+                            spill.store.append_batch(pool.mesh, index, samples)?;
+                        }
+                        pool.retained = 0;
+                    }
+                }
+            }
         }
+        Ok(())
     }
 
     /// Runs folded so far.
@@ -418,21 +536,36 @@ impl ReportAccumulator {
     ///
     /// This is the accumulator's entire per-run retention: zero unless the
     /// eval phase is enabled (the O(1)-retention guard in the test suite),
-    /// and only the labeled samples — never the runs — when it is.
+    /// and only the labeled samples — never the runs — when it is. In spill
+    /// mode this stays below the configured threshold between folds; the
+    /// overflow lives in the [`SampleStore`] (see [`Self::spilled_samples`]).
     pub fn retained_samples(&self) -> usize {
-        self.eval_pools.iter().map(|p| p.samples.len()).sum()
+        self.eval_pools.iter().map(|p| p.retained).sum()
+    }
+
+    /// How many eval-phase samples have been moved to the spill store.
+    pub fn spilled_samples(&self) -> usize {
+        self.eval_pools.iter().map(|p| p.spilled).sum()
     }
 
     /// Finalizes the aggregates into a [`CampaignReport`], running the eval
-    /// phase (fanned out over `executor`) if the spec enabled it.
+    /// phase (fanned out over `executor`) if the spec enabled it. In spill
+    /// mode each mesh pool is reassembled from its spilled and in-memory
+    /// batches in run-index order first — byte-identical to the pool an
+    /// unspilled accumulator would have buffered.
     ///
     /// # Errors
     ///
     /// Returns a [`SpecError`] if the eval phase is enabled but its
-    /// configuration is invalid or a mesh group has no samples.
+    /// configuration is invalid, a mesh group has no samples, or a spilled
+    /// batch cannot be read back.
     pub fn finish(self, executor: &Executor) -> Result<CampaignReport, SpecError> {
         let evaluations = if self.eval.enabled {
-            run_eval_phase(self.eval_pools, &self.eval, executor)?
+            let mut pools = Vec::with_capacity(self.eval_pools.len());
+            for pool in self.eval_pools {
+                pools.push(pool.assemble(self.spill.as_ref().map(|s| &s.store))?);
+            }
+            run_eval_phase(pools, &self.eval, executor)?
         } else {
             Vec::new()
         };
@@ -540,7 +673,7 @@ pub fn split_by_benchmark(
 /// and reassembled in group order, so the entries are identical for any
 /// worker count.
 fn run_eval_phase(
-    pools: Vec<EvalPool>,
+    pools: Vec<AssembledPool>,
     eval: &EvalSpec,
     executor: &Executor,
 ) -> Result<Vec<EvalEntry>, SpecError> {
@@ -549,7 +682,7 @@ fn run_eval_phase(
 
     let mut jobs = Vec::new();
     for pool in pools {
-        let EvalPool {
+        let AssembledPool {
             mesh,
             seed,
             samples,

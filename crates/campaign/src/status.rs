@@ -1,0 +1,264 @@
+//! Read-only campaign progress inspection: `campaign status <dir>...`.
+//!
+//! [`status`] sizes up one or many campaign (or shard) directories without
+//! modifying a single byte: per directory it reports the manifest identity,
+//! stored/missing run counts with the exact gap list, torn-tail state, log
+//! and spilled-sample sizes, and whether a report has landed. Over several
+//! directories sharing one fingerprint it additionally computes the
+//! **union** view — which run indices no directory has stored — which is
+//! exactly the gap list a [`crate::merge::merge`] of those directories
+//! would refuse on.
+//!
+//! Because the run-log scan tolerates a torn final record (the shape of an
+//! in-flight append), `status` is safe to point at a directory whose
+//! campaign is still running.
+
+use crate::grid;
+use crate::spec::SpecError;
+use crate::spill::{SampleStore, SpillStats};
+use crate::stream::{CampaignDir, ShardSlice};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Everything [`status`] reports about one campaign directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirStatus {
+    /// The directory, as given.
+    pub path: String,
+    /// Campaign name from the manifest.
+    pub name: String,
+    /// Spec fingerprint from the manifest.
+    pub fingerprint: String,
+    /// Size of the full expanded run matrix.
+    pub total_runs: usize,
+    /// The shard slice this directory executes, if it is a shard.
+    pub shard: Option<ShardSlice>,
+    /// Run indices this directory is responsible for (`total_runs` for a
+    /// whole campaign, the slice size for a shard).
+    pub owned_runs: usize,
+    /// Whole records stored in `runs.jsonl`.
+    pub completed: usize,
+    /// Owned run indices with no stored record — what a resume would
+    /// re-execute, in matrix order.
+    pub missing: Vec<usize>,
+    /// Whether the log ends in a torn (crash- or in-flight-truncated)
+    /// record.
+    pub truncated_tail: bool,
+    /// Identical duplicate records in the log (compaction would drop them).
+    pub duplicate_records: usize,
+    /// Size of `runs.jsonl`, bytes.
+    pub runs_bytes: u64,
+    /// Whether `report.json` has been written.
+    pub report_written: bool,
+    /// The spilled sample store, when one exists.
+    pub spill: Option<SpillStats>,
+}
+
+/// The aggregate [`status`] view over every inspected directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// Per-directory status, in argument order.
+    pub dirs: Vec<DirStatus>,
+    /// Whether every directory shares one spec fingerprint (the union view
+    /// is only meaningful — and only present — when they do).
+    pub fingerprints_agree: bool,
+    /// Run indices stored by **no** directory, in matrix order — the gap
+    /// list a merge of these directories would refuse on. `None` when
+    /// fingerprints disagree.
+    pub union_missing: Option<Vec<usize>>,
+}
+
+impl StatusReport {
+    /// Serializes the status as pretty JSON (`campaign status --json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("status serialization cannot fail")
+    }
+
+    /// Renders the status as human-readable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for dir in &self.dirs {
+            let _ = writeln!(
+                out,
+                "{}: campaign `{}` (fingerprint {})",
+                dir.path, dir.name, dir.fingerprint
+            );
+            let shard = match dir.shard {
+                Some(s) => format!(" [shard {}/{}]", s.index, s.count),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  runs: {}/{} stored{shard}, {} missing, log {} bytes{}{}",
+                dir.completed,
+                dir.owned_runs,
+                dir.missing.len(),
+                dir.runs_bytes,
+                if dir.truncated_tail {
+                    ", torn tail"
+                } else {
+                    ""
+                },
+                if dir.duplicate_records > 0 {
+                    format!(", {} duplicate records", dir.duplicate_records)
+                } else {
+                    String::new()
+                },
+            );
+            if !dir.missing.is_empty() {
+                let _ = writeln!(out, "  gaps: [{}]", render_truncated(&dir.missing, 20));
+            }
+            if let Some(spill) = &dir.spill {
+                let _ = writeln!(
+                    out,
+                    "  spill: {} samples in {} batches across {} files, {} bytes{}",
+                    spill.samples,
+                    spill.batches,
+                    spill.files,
+                    spill.bytes,
+                    if spill.truncated_tail {
+                        " (torn tail)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  report: {}",
+                if dir.report_written {
+                    "written"
+                } else {
+                    "not written"
+                }
+            );
+        }
+        if self.dirs.len() > 1 {
+            match &self.union_missing {
+                Some(missing) if missing.is_empty() => {
+                    let _ = writeln!(out, "union: complete — ready to merge");
+                }
+                Some(missing) => {
+                    let _ = writeln!(
+                        out,
+                        "union: {} run indices stored nowhere: [{}]",
+                        missing.len(),
+                        render_truncated(missing, 20)
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "union: fingerprints disagree — these directories belong to \
+                         different campaigns"
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders up to `limit` indices, eliding the rest with a count.
+fn render_truncated(indices: &[usize], limit: usize) -> String {
+    let shown: Vec<String> = indices.iter().take(limit).map(|i| i.to_string()).collect();
+    if indices.len() > limit {
+        format!("{}, … {} more", shown.join(", "), indices.len() - limit)
+    } else {
+        shown.join(", ")
+    }
+}
+
+/// Inspects every directory read-only and assembles the [`StatusReport`].
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if `paths` is empty, a path is not a campaign
+/// directory, or a log/store is corrupt mid-file (a torn tail is reported,
+/// not an error).
+pub fn status(paths: &[PathBuf]) -> Result<StatusReport, SpecError> {
+    if paths.is_empty() {
+        return Err(SpecError::new(
+            "status needs at least one campaign directory",
+        ));
+    }
+    let mut dirs = Vec::with_capacity(paths.len());
+    let mut union_stored: Option<Vec<bool>> = None;
+    let mut fingerprints_agree = true;
+    let mut first_fingerprint: Option<String> = None;
+    for path in paths {
+        let dir = CampaignDir::open(path)?;
+        let manifest = dir.manifest()?;
+        let runs = grid::expand(&manifest.spec)?;
+        if runs.len() != manifest.total_runs {
+            return Err(SpecError::new(format!(
+                "manifest of {} records {} runs but its spec expands to {}; the \
+                 campaign directory is corrupt",
+                path.display(),
+                manifest.total_runs,
+                runs.len()
+            )));
+        }
+        let index = dir.index_log(&runs)?;
+        match &first_fingerprint {
+            None => first_fingerprint = Some(manifest.fingerprint.clone()),
+            Some(first) if *first != manifest.fingerprint => fingerprints_agree = false,
+            Some(_) => {}
+        }
+        if fingerprints_agree {
+            let stored = union_stored.get_or_insert_with(|| vec![false; runs.len()]);
+            for (i, entry) in index.entries.iter().enumerate() {
+                if entry.is_some() {
+                    stored[i] = true;
+                }
+            }
+        }
+        let missing: Vec<usize> = match manifest.shard {
+            Some(shard) => index
+                .missing_indices()
+                .into_iter()
+                .filter(|&i| shard.owns(i))
+                .collect(),
+            None => index.missing_indices(),
+        };
+        let owned_runs = match manifest.shard {
+            Some(shard) => shard.owned_indices(runs.len()).count(),
+            None => runs.len(),
+        };
+        let runs_bytes = std::fs::metadata(dir.runs_path())
+            .map(|m| m.len())
+            .unwrap_or(0);
+        dirs.push(DirStatus {
+            path: path.display().to_string(),
+            name: manifest.name,
+            fingerprint: manifest.fingerprint,
+            total_runs: runs.len(),
+            shard: manifest.shard,
+            owned_runs,
+            completed: index.completed(),
+            missing,
+            truncated_tail: index.truncated_tail,
+            duplicate_records: index.duplicate_records,
+            runs_bytes,
+            report_written: dir.report_path().exists(),
+            spill: SampleStore::inspect(dir.samples_path())?,
+        });
+    }
+    let union_missing = if fingerprints_agree {
+        union_stored.map(|stored| {
+            stored
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (!s).then_some(i))
+                .collect()
+        })
+    } else {
+        None
+    };
+    Ok(StatusReport {
+        dirs,
+        fingerprints_agree,
+        union_missing,
+    })
+}

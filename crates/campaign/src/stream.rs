@@ -30,6 +30,7 @@ use crate::executor::{execute_run, Executor, RunResult};
 use crate::grid::{self, RunSpec};
 use crate::report::{CampaignReport, ReportAccumulator};
 use crate::spec::{CampaignSpec, SpecError};
+use crate::spill::SampleStore;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead as _, BufReader, Read as _, Seek as _, SeekFrom, Write as _};
@@ -41,6 +42,34 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 pub const RUNS_FILE: &str = "runs.jsonl";
 /// File name of the final aggregated report.
 pub const REPORT_FILE: &str = "report.json";
+/// Directory name of the spilled eval sample store inside a campaign
+/// directory ([`crate::spill`]).
+pub const SAMPLES_DIR: &str = "samples";
+
+/// Default in-memory eval sample bound of the streaming paths: once an
+/// eval-enabled campaign buffers this many labeled samples, they spill to
+/// the campaign directory's sample store.
+pub const DEFAULT_SPILL_THRESHOLD: usize = 65_536;
+
+/// How a report-building path bounds its eval-phase sample memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// Buffer every eval sample in memory, exactly as the in-memory build
+    /// does. (A pre-existing sample store — a stripped run log's — is still
+    /// read at eval time; it is just never appended to.)
+    InMemory,
+    /// Spill buffered eval samples to the campaign directory's `samples/`
+    /// store whenever the in-memory count reaches the threshold.
+    Threshold(usize),
+}
+
+impl Default for SpillPolicy {
+    /// The streaming paths spill at [`DEFAULT_SPILL_THRESHOLD`] unless told
+    /// otherwise — campaign memory stays bounded by default.
+    fn default() -> Self {
+        SpillPolicy::Threshold(DEFAULT_SPILL_THRESHOLD)
+    }
+}
 
 /// The fingerprint of a campaign spec: FNV-1a 64 over its canonical JSON
 /// serialization, rendered as 16 hex digits.
@@ -151,6 +180,9 @@ pub struct LogIndex {
     /// records — what [`resume`] truncates the file to before appending, so
     /// a torn tail record can never merge with the next append.
     pub valid_bytes: u64,
+    /// Stored records that repeated an already-indexed run index with
+    /// identical bytes (what `campaign compact` drops when rewriting).
+    pub duplicate_records: usize,
 }
 
 impl LogIndex {
@@ -266,6 +298,11 @@ impl CampaignDir {
         self.root.join(REPORT_FILE)
     }
 
+    /// The path of the spilled eval sample store ([`crate::spill`]).
+    pub fn samples_path(&self) -> PathBuf {
+        self.root.join(SAMPLES_DIR)
+    }
+
     /// Reads and self-checks the manifest (the stored fingerprint must match
     /// the embedded spec — a mismatch means the manifest was edited).
     ///
@@ -356,6 +393,7 @@ impl CampaignDir {
                     entries: (0..runs.len()).map(|_| None).collect(),
                     truncated_tail: false,
                     valid_bytes: 0,
+                    duplicate_records: 0,
                 });
             }
             Err(e) => {
@@ -365,42 +403,12 @@ impl CampaignDir {
                 )))
             }
         };
-        let mut reader = BufReader::new(file);
         let mut entries: Vec<Option<RecordEntry>> = (0..runs.len()).map(|_| None).collect();
-        let mut valid_bytes = 0u64;
-        let mut offset = 0u64;
-        let mut line_no = 0usize;
-        // A parse failure is only tolerable if nothing follows it; remember
-        // it and keep scanning so a later record can prove it mid-file.
-        let mut pending_error: Option<(usize, String)> = None;
-        let mut segment = String::new();
-        loop {
-            segment.clear();
-            let read = reader
-                .read_line(&mut segment)
-                .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
-            if read == 0 {
-                break;
-            }
-            line_no += 1;
-            let line_start = offset;
-            offset += read as u64;
-            let line = segment.trim();
-            if line.is_empty() {
-                continue;
-            }
-            if let Some((bad_line, error)) = pending_error.take() {
-                return Err(SpecError::new(format!(
-                    "corrupt record on line {bad_line} of {}: {error}",
-                    path.display()
-                )));
-            }
+        let mut duplicate_records = 0usize;
+        let scan = scan_jsonl(file, &path, "record", |line_no, offset, line| {
             let record: RunResult = match serde_json::from_str(line) {
                 Ok(record) => record,
-                Err(e) => {
-                    pending_error = Some((line_no, e.to_string()));
-                    continue;
-                }
+                Err(e) => return Ok(Some(e.to_string())),
             };
             let index = record.spec.index;
             let Some(expected) = runs.get(index) else {
@@ -419,10 +427,8 @@ impl CampaignDir {
                 )));
             }
             drop(record);
-            valid_bytes = offset;
-            let leading = (segment.len() - segment.trim_start().len()) as u64;
             let entry = RecordEntry {
-                offset: line_start + leading,
+                offset,
                 len: line.len(),
             };
             match entries[index] {
@@ -437,14 +443,17 @@ impl CampaignDir {
                             path.display()
                         )));
                     }
+                    duplicate_records += 1;
                 }
                 None => entries[index] = Some(entry),
             }
-        }
+            Ok(None)
+        })?;
         Ok(LogIndex {
             entries,
-            truncated_tail: pending_error.is_some(),
-            valid_bytes,
+            truncated_tail: scan.truncated_tail,
+            valid_bytes: scan.valid_bytes,
+            duplicate_records,
         })
     }
 
@@ -498,6 +507,24 @@ impl CampaignDir {
         index: &LogIndex,
         mut fold: impl FnMut(RunResult),
     ) -> Result<(), SpecError> {
+        self.try_replay(index, |record| {
+            fold(record);
+            Ok(())
+        })
+    }
+
+    /// [`Self::replay`] with a fallible fold — the spill-mode aggregation
+    /// paths fold through this so a failed spill aborts the replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if a record cannot be re-read or re-parsed,
+    /// or the first error `fold` returns.
+    pub fn try_replay(
+        &self,
+        index: &LogIndex,
+        mut fold: impl FnMut(RunResult) -> Result<(), SpecError>,
+    ) -> Result<(), SpecError> {
         let path = self.runs_path();
         let mut file = File::open(&path)
             .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
@@ -510,7 +537,7 @@ impl CampaignDir {
                     path.display()
                 ))
             })?;
-            fold(record);
+            fold(record)?;
         }
         Ok(())
     }
@@ -550,8 +577,85 @@ impl CampaignDir {
     }
 }
 
-/// Reads the raw line bytes of `entry` from an open `runs.jsonl` handle.
-fn read_line_at(file: &mut File, entry: &RecordEntry, path: &Path) -> Result<String, SpecError> {
+/// What a torn-tail-tolerant JSONL scan concluded about a whole file.
+pub(crate) struct JsonlScan {
+    /// Byte length of the longest prefix made of whole, valid records.
+    pub valid_bytes: u64,
+    /// Whether the file ends in a torn (crash-truncated or partially
+    /// appended) record.
+    pub truncated_tail: bool,
+}
+
+/// The torn-tail-tolerant JSONL scan loop shared by the run-log index
+/// ([`CampaignDir::index_log`]) and the sample store
+/// ([`crate::spill`]): reads whole lines, skips blanks, treats a final
+/// line that fails `on_line` validation *or* lacks its trailing newline (a
+/// partially applied append — writers frame record + newline in one write)
+/// as torn, and promotes the same failure mid-file to a hard corruption
+/// error naming `what`.
+///
+/// `on_line(line_no, offset_of_line_start, trimmed_line)` returns
+/// `Ok(None)` to accept the record, `Ok(Some(reason))` to mark it
+/// unparseable (tolerated only as the final line), or `Err` to abort.
+pub(crate) fn scan_jsonl(
+    file: File,
+    path: &Path,
+    what: &str,
+    mut on_line: impl FnMut(usize, u64, &str) -> Result<Option<String>, SpecError>,
+) -> Result<JsonlScan, SpecError> {
+    let mut reader = BufReader::new(file);
+    let mut valid_bytes = 0u64;
+    let mut offset = 0u64;
+    let mut line_no = 0usize;
+    // A parse failure is only tolerable if nothing follows it; remember it
+    // and keep scanning so a later record can prove it mid-file.
+    let mut pending_error: Option<(usize, String)> = None;
+    let mut segment = String::new();
+    loop {
+        segment.clear();
+        let read = reader
+            .read_line(&mut segment)
+            .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let line_start = offset;
+        offset += read as u64;
+        let line = segment.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((bad_line, error)) = pending_error.take() {
+            return Err(SpecError::new(format!(
+                "corrupt {what} on line {bad_line} of {}: {error}",
+                path.display()
+            )));
+        }
+        if !segment.ends_with('\n') {
+            pending_error = Some((line_no, "missing trailing newline".to_string()));
+            continue;
+        }
+        let leading = (segment.len() - segment.trim_start().len()) as u64;
+        match on_line(line_no, line_start + leading, line)? {
+            None => valid_bytes = offset,
+            Some(reason) => pending_error = Some((line_no, reason)),
+        }
+    }
+    Ok(JsonlScan {
+        valid_bytes,
+        truncated_tail: pending_error.is_some(),
+    })
+}
+
+/// Reads the raw line bytes of `entry` from an open JSONL handle — the
+/// seek/read-one-record primitive shared by the run log and the spilled
+/// sample store ([`crate::spill`]).
+pub(crate) fn read_line_at(
+    file: &mut File,
+    entry: &RecordEntry,
+    path: &Path,
+) -> Result<String, SpecError> {
     file.seek(SeekFrom::Start(entry.offset))
         .map_err(|e| SpecError::new(format!("cannot seek in {}: {e}", path.display())))?;
     let mut bytes = vec![0u8; entry.len];
@@ -602,12 +706,29 @@ pub fn run_streaming_expanded(
     runs: &[RunSpec],
     root: impl Into<PathBuf>,
 ) -> Result<CampaignReport, SpecError> {
+    run_streaming_expanded_with(executor, spec, runs, root, SpillPolicy::default())
+}
+
+/// [`run_streaming_expanded`] with an explicit [`SpillPolicy`] for the
+/// report-building phase.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on an invalid spec, an already-initialized
+/// directory, or any I/O failure.
+pub fn run_streaming_expanded_with(
+    executor: &Executor,
+    spec: &CampaignSpec,
+    runs: &[RunSpec],
+    root: impl Into<PathBuf>,
+    spill: SpillPolicy,
+) -> Result<CampaignReport, SpecError> {
     let dir = CampaignDir::create(root, spec, runs.len())?;
     let mut writer = dir.open_runs_for_append()?;
     stream_pending(executor, spec, runs, &dir, &mut writer)?;
     drop(writer);
     let index = dir.index_log(runs)?;
-    report_from_log(executor, &dir, spec, runs, &index)
+    report_from_log(executor, &dir, spec, runs, &index, spill)
 }
 
 /// Executes a shard of `spec`: the strided slice `shard` of the run matrix,
@@ -713,6 +834,21 @@ pub fn resume(
     root: impl Into<PathBuf>,
     expected_spec: Option<&CampaignSpec>,
 ) -> Result<Option<CampaignReport>, SpecError> {
+    resume_with(executor, root, expected_spec, SpillPolicy::default())
+}
+
+/// [`resume`] with an explicit [`SpillPolicy`] for the report-building
+/// phase.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] under the same conditions as [`resume`].
+pub fn resume_with(
+    executor: &Executor,
+    root: impl Into<PathBuf>,
+    expected_spec: Option<&CampaignSpec>,
+    spill: SpillPolicy,
+) -> Result<Option<CampaignReport>, SpecError> {
     let dir = CampaignDir::open(root)?;
     let manifest = dir.manifest()?;
     if let Some(expected) = expected_spec {
@@ -769,19 +905,27 @@ pub fn resume(
     } else {
         index
     };
-    report_from_log(executor, &dir, &spec, &runs, &index).map(Some)
+    report_from_log(executor, &dir, &spec, &runs, &index, spill).map(Some)
 }
 
 /// Builds and persists the report of a campaign directory whose `index` is
 /// complete, by replaying the run log through the shared
 /// [`ReportAccumulator`] — one record at a time, in run-index order, never
 /// materializing the result set.
-fn report_from_log(
+///
+/// When the eval phase is enabled, `spill` bounds the sample pools: a
+/// [`SpillPolicy::Threshold`] attaches the directory's sample store and
+/// spills at the threshold, while [`SpillPolicy::InMemory`] buffers
+/// everything — unless the directory already holds a sample store (a
+/// stripped run log's), which is then attached read-mostly so the eval
+/// phase can find the stripped records' samples.
+pub(crate) fn report_from_log(
     executor: &Executor,
     dir: &CampaignDir,
     spec: &CampaignSpec,
     runs: &[RunSpec],
     index: &LogIndex,
+    spill: SpillPolicy,
 ) -> Result<CampaignReport, SpecError> {
     let missing = index.missing_indices();
     if !missing.is_empty() {
@@ -793,7 +937,25 @@ fn report_from_log(
         )));
     }
     let mut acc = ReportAccumulator::for_spec(spec)?;
-    dir.replay(index, |result| acc.fold(&result))?;
+    if spec.eval.enabled {
+        let fingerprint = spec_fingerprint(spec);
+        match spill {
+            SpillPolicy::Threshold(threshold) => {
+                let store = SampleStore::attach(dir.samples_path(), &fingerprint)?;
+                acc = acc.with_spill(store, threshold);
+            }
+            SpillPolicy::InMemory => {
+                // A stripped run log keeps its samples in the store; attach
+                // it for reading but never spill fresh folds into it.
+                if let Some(store) =
+                    SampleStore::open_existing(dir.samples_path(), Some(&fingerprint))?
+                {
+                    acc = acc.with_spill(store, usize::MAX);
+                }
+            }
+        }
+    }
+    dir.try_replay(index, |result| acc.try_fold(&result))?;
     let report = acc.finish(executor)?;
     dir.write_report(&report)?;
     Ok(report)

@@ -1,13 +1,19 @@
 //! Property tests of the spec and streaming codecs: TOML/JSON spec
 //! round-trips over arbitrary grids, lossless RunResult JSONL
-//! encode/decode, resume-after-arbitrary-prefix scan recovery, and
-//! shard-merge byte-identity over arbitrary partitions of the run matrix.
+//! encode/decode, resume-after-arbitrary-prefix scan recovery, shard-merge
+//! byte-identity over arbitrary partitions of the run matrix, spilled-vs-
+//! in-memory report byte-identity over arbitrary grids, compact-then-
+//! resume/merge equivalence under arbitrary prefixes and duplicate
+//! injection, and `campaign status` gap-list correctness.
 
 use dl2fence_campaign::stream::{CampaignDir, RUNS_FILE};
 use dl2fence_campaign::{
-    expand, merge, resume, run_streaming, spec_fingerprint, CampaignOutcome, CampaignReport,
-    CampaignSpec, Executor, RunMetrics, RunResult, RunSpec,
+    compact, expand, merge, resume, run_streaming, spec_fingerprint, status, CampaignOutcome,
+    CampaignReport, CampaignSpec, Executor, ReportAccumulator, RunMetrics, RunResult, RunSpec,
+    SampleStore,
 };
+use noc_monitor::{DirectionalFrames, FeatureFrame, FeatureKind, GroundTruth, LabeledSample};
+use noc_sim::Direction;
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -380,6 +386,246 @@ fn streamed_reference() -> &'static String {
         std::fs::remove_dir_all(&root).unwrap();
         report.to_json()
     })
+}
+
+/// One synthetic directional frame bundle with deterministic dyadic pixel
+/// values (exact under the JSON f32 codec), driven by [`splitmix`].
+fn synthetic_frames(kind: FeatureKind, mesh: usize, state: &mut u64) -> DirectionalFrames {
+    let frames = Direction::CARDINAL
+        .into_iter()
+        .map(|direction| {
+            let data: Vec<f32> = (0..mesh * mesh)
+                .map(|_| {
+                    *state = splitmix(*state);
+                    (*state % 256) as f32 / 256.0
+                })
+                .collect();
+            FeatureFrame::new(direction, kind, mesh, mesh, data)
+        })
+        .collect();
+    DirectionalFrames::new(frames)
+}
+
+/// A [`synthetic_result`] carrying `samples_per_run` synthetic labeled
+/// samples whose ground truth mirrors the run's scenario — enough for the
+/// eval phase to train on, with no simulation.
+fn synthetic_sampled_result(run: &RunSpec, samples_per_run: usize) -> RunResult {
+    let mut result = synthetic_result(run);
+    let truth = if run.is_attack() {
+        GroundTruth {
+            under_attack: true,
+            attackers: run.scenario.attackers.clone(),
+            attack_pairs: run
+                .scenario
+                .attackers
+                .iter()
+                .map(|&a| (a, run.scenario.victim))
+                .collect(),
+            victims: vec![run.scenario.victim],
+            rows: run.mesh,
+            cols: run.mesh,
+        }
+    } else {
+        GroundTruth::benign(run.mesh, run.mesh)
+    };
+    let mut state = splitmix(run.run_seed ^ 0x5A5A_5A5A);
+    for _ in 0..samples_per_run {
+        result.samples.push(LabeledSample {
+            vco: synthetic_frames(FeatureKind::Vco, run.mesh, &mut state),
+            boc: synthetic_frames(FeatureKind::Boc, run.mesh, &mut state),
+            truth: truth.clone(),
+            benchmark: run.workload.clone(),
+        });
+    }
+    result
+}
+
+proptest! {
+    /// The spill tentpole's core property: for **arbitrary grids** with the
+    /// eval phase enabled and **arbitrary spill thresholds**, folding the
+    /// same runs through a disk-spilling accumulator produces a report
+    /// byte-identical to the all-in-memory build — while never retaining a
+    /// threshold's worth of samples between folds.
+    #[test]
+    fn spilled_report_is_byte_identical_to_in_memory_for_any_grid(
+        // DL2Fence's detector CNN needs at least a 4x4 mesh.
+        mesh in 4usize..6,
+        fir_pct in 1u64..101,
+        workload_i in 0usize..6,
+        placements in 1usize..4,
+        benign in 1usize..3,
+        seed in 0u64..1_000_000_000_000,
+        // At least two samples per run: with the alternating 0.5 split,
+        // every run (in particular every attack run — the localizer needs
+        // one to train) then contributes a sample to the training side.
+        samples_per_run in 2usize..4,
+        threshold in 1usize..12,
+    ) {
+        let mut spec = build_spec(
+            mesh, mesh, fir_pct, workload_i, workload_i, placements,
+            benign, seed, 20_000, seed as usize % 6,
+        );
+        spec.sim.collect_samples = true;
+        spec.sim.samples_per_run = samples_per_run;
+        spec.eval.enabled = true;
+        spec.eval.train_fraction = 0.5;
+        spec.eval.detector_epochs = 1;
+        spec.eval.localizer_epochs = 1;
+        prop_assert!(spec.validate().is_ok(), "drawn spec must be valid");
+
+        let runs = expand(&spec).map_err(|e| e.to_string())?;
+        let results: Vec<RunResult> = runs
+            .iter()
+            .map(|r| synthetic_sampled_result(r, samples_per_run))
+            .collect();
+        let executor = Executor::new(1);
+        let reference = CampaignReport::build_with(
+            &CampaignOutcome { spec: spec.clone(), runs: results.clone() },
+            &executor,
+        )
+        .map_err(|e| e.to_string())?
+        .to_json();
+
+        let root = temp_root("spill-grid");
+        let store = SampleStore::attach(&root, &spec_fingerprint(&spec))
+            .map_err(|e| e.to_string())?;
+        let mut acc = ReportAccumulator::for_spec(&spec)
+            .map_err(|e| e.to_string())?
+            .with_spill(store, threshold);
+        for result in &results {
+            acc.try_fold(result).map_err(|e| e.to_string())?;
+            prop_assert!(
+                acc.retained_samples() < threshold,
+                "retained {} samples at threshold {threshold}",
+                acc.retained_samples()
+            );
+        }
+        let spilled = acc.finish(&executor).map_err(|e| e.to_string())?.to_json();
+        prop_assert_eq!(spilled, reference);
+        std::fs::remove_dir_all(&root).map_err(|e| e.to_string())?;
+    }
+
+    /// Compact-then-resume equivalence: starting from an **arbitrary
+    /// prefix** of the seed campaign's records, in arbitrary order, with
+    /// arbitrary identical-duplicate injection and a torn tail, `compact`
+    /// rewrites the log into index-ordered duplicate-free form and a
+    /// subsequent resume still rebuilds the uninterrupted report
+    /// byte-identically.
+    #[test]
+    fn compact_then_resume_matches_the_reference_after_any_prefix(
+        keep in 2usize..6,
+        dup_a in 0usize..8,
+        dup_b in 0usize..8,
+        shuffle_seed in 0u64..u64::MAX,
+        chop in 5usize..60,
+    ) {
+        let (spec, results) = seed_results();
+        let keep = keep.min(results.len());
+        let root = temp_root("compact-resume");
+        let dir = CampaignDir::create(&root, spec, results.len()).map_err(|e| e.to_string())?;
+
+        let mut stored: Vec<&RunResult> = results[..keep].iter().collect();
+        shuffle(&mut stored, shuffle_seed);
+        let mut lines: Vec<String> = stored
+            .iter()
+            .map(|r| serde_json::to_string(r).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        // Duplicate two stored records (identical bytes — the legal kind).
+        if !lines.is_empty() {
+            lines.push(lines[dup_a % lines.len()].clone());
+            lines.push(lines[dup_b % lines.len()].clone());
+        }
+        let mut jsonl: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        if keep < results.len() {
+            // A torn half-record of the next run.
+            let next = serde_json::to_string(&results[keep]).map_err(|e| e.to_string())?;
+            jsonl.push_str(&next[..chop.min(next.len() - 1)]);
+        }
+        std::fs::write(dir.runs_path(), &jsonl).map_err(|e| e.to_string())?;
+
+        let stats = compact(&root, false).map_err(|e| e.to_string())?;
+        prop_assert_eq!(stats.records, keep);
+        prop_assert_eq!(stats.dropped_duplicates, if keep == 0 { 0 } else { 2 });
+        prop_assert_eq!(stats.healed_torn_tail, keep < results.len());
+
+        let report = resume(&Executor::new(2), &root, Some(spec))
+            .map_err(|e| e.to_string())?
+            .expect("whole-campaign resume returns a report");
+        prop_assert_eq!(&report.to_json(), streamed_reference());
+        std::fs::remove_dir_all(&root).map_err(|e| e.to_string())?;
+    }
+
+    /// Compact-then-merge equivalence: an arbitrary 2-way partition of the
+    /// seed campaign's records with duplicate injection on both sides,
+    /// both directories compacted, merges into the reference report
+    /// byte-identically (no simulation at all).
+    #[test]
+    fn compact_then_merge_matches_the_reference_for_any_partition(
+        assign_seed in 0u64..u64::MAX,
+        shuffle_seed in 0u64..u64::MAX,
+        dup in 0usize..8,
+    ) {
+        let (spec, results) = seed_results();
+        let base = temp_root("compact-merge");
+        let inputs = write_partitioned_shards(
+            &base,
+            spec,
+            results,
+            2,
+            |i| (splitmix(assign_seed ^ i as u64)) as usize,
+            shuffle_seed,
+        );
+        // Inject an identical duplicate into each non-empty input, then
+        // compact both.
+        for input in &inputs {
+            let log_path = input.join(RUNS_FILE);
+            let log = std::fs::read_to_string(&log_path).map_err(|e| e.to_string())?;
+            if let Some(line) = log.lines().nth(dup % log.lines().count().max(1)) {
+                let dup_line = line.to_string();
+                std::fs::write(&log_path, format!("{log}{dup_line}\n"))
+                    .map_err(|e| e.to_string())?;
+            }
+            compact(input, false).map_err(|e| e.to_string())?;
+        }
+        let merged = merge(&Executor::new(2), &inputs, base.join("merged"))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(&merged.to_json(), streamed_reference());
+        std::fs::remove_dir_all(&base).map_err(|e| e.to_string())?;
+    }
+
+    /// `campaign status` reports exactly the gap list the log index
+    /// computes, for any stored subset of the run matrix.
+    #[test]
+    fn status_gap_list_matches_the_log_index(
+        mask in 0u64..32,
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let (spec, results) = seed_results();
+        let root = temp_root("status-gaps");
+        let dir = CampaignDir::create(&root, spec, results.len()).map_err(|e| e.to_string())?;
+        let mut stored: Vec<&RunResult> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| (mask & (1 << i) != 0).then_some(r))
+            .collect();
+        shuffle(&mut stored, shuffle_seed);
+        let jsonl: String = stored
+            .iter()
+            .map(|r| format!("{}\n", serde_json::to_string(r).unwrap()))
+            .collect();
+        std::fs::write(dir.runs_path(), jsonl).map_err(|e| e.to_string())?;
+
+        let runs = expand(spec).map_err(|e| e.to_string())?;
+        let index = dir.index_log(&runs).map_err(|e| e.to_string())?;
+        let report = status(std::slice::from_ref(&root)).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&report.dirs[0].missing, &index.missing_indices());
+        prop_assert_eq!(report.dirs[0].completed, index.completed());
+        prop_assert_eq!(
+            report.union_missing.as_ref().expect("one fingerprint"),
+            &index.missing_indices()
+        );
+        std::fs::remove_dir_all(&root).map_err(|e| e.to_string())?;
+    }
 }
 
 /// Full resume equality over every possible prefix length — the executable
