@@ -3,30 +3,34 @@
 //!
 //! ```text
 //! campaign expand  <spec.toml|spec.json>
-//! campaign run     <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
-//! campaign resume  <campaign-dir> [--spec PATH] [--workers N] [--quiet]
-//! campaign shard   <spec.toml|spec.json> --shards N --index I --out DIR
+//! campaign run     <spec.toml|spec.json> [--workers N] [--out DIR] [--telemetry] [--quiet]
+//! campaign resume  <campaign-dir> [--spec PATH] [--workers N] [--telemetry] [--quiet]
+//! campaign shard   <spec.toml|spec.json> --shards N --index I --out DIR [--telemetry]
 //! campaign merge   <dir>... --out DIR [--workers N] [--quiet]
 //! campaign compact <campaign-dir> [--strip-samples] [--quiet]
 //! campaign status  <dir>... [--json]
-//! campaign report  <report.json>
+//! campaign watch   <campaign-dir> [--interval SECS] [--json]
+//! campaign report  <report.json|campaign-dir> [--timings]
 //! ```
 
 use dl2fence_campaign::stream::{run_shard_expanded, run_streaming_expanded_with};
 use dl2fence_campaign::{
-    compact, expand, merge_with, resume_with, spec_fingerprint, status, CampaignOutcome,
-    CampaignReport, CampaignSpec, Executor, ShardSlice, SpillPolicy,
+    compact, expand, merge_with, resume_with, spec_fingerprint, status, summarize_events,
+    CampaignOutcome, CampaignReport, CampaignSpec, Executor, ShardSlice, SpillPolicy,
+    WatchSnapshot, EVENTS_FILE,
 };
+use dl2fence_telemetry::Telemetry;
+use std::io::IsTerminal as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 usage:
   campaign expand <spec.toml|spec.json>
       Print the expanded run matrix as JSON (one run per line).
   campaign run <spec.toml|spec.json> [--workers N] [--out DIR] [--quiet]
-               [--spill-threshold N | --no-spill]
+               [--spill-threshold N | --no-spill] [--telemetry]
       Execute the campaign. Without --out the aggregated JSON report goes to
       stdout; with --out DIR every finished run is streamed to DIR/runs.jsonl
       as it completes and the report lands in DIR/report.json (a DIR ending
@@ -34,14 +38,17 @@ usage:
       pools spill to DIR/samples/ past --spill-threshold (default 65536)
       unless --no-spill buffers them all in memory.
       --workers defaults to the machine's available parallelism.
+      --telemetry (needs --out DIR) streams structured span/counter/histogram
+      events to DIR/events.jsonl for `watch` and `report --timings`.
   campaign resume <campaign-dir> [--spec PATH] [--workers N] [--quiet]
-                  [--spill-threshold N | --no-spill]
+                  [--spill-threshold N | --no-spill] [--telemetry]
       Resume an interrupted `run --out` or `shard` campaign: verify the
       stored spec fingerprint (and PATH's, when given), re-execute only the
       missing run indices, and — for whole-campaign directories — rebuild a
-      report byte-identical to an uninterrupted run.
+      report byte-identical to an uninterrupted run. --telemetry appends to
+      DIR/events.jsonl, continuing the original run's sequence numbers.
   campaign shard <spec.toml|spec.json> --shards N --index I --out DIR
-                 [--workers W] [--quiet]
+                 [--workers W] [--quiet] [--telemetry]
       Execute shard I of N: the run indices congruent to I modulo N, streamed
       to an ordinary campaign directory whose manifest records the slice.
       Run one shard per machine, collect the directories, then `merge`.
@@ -63,8 +70,18 @@ usage:
       counts, exact gap list, shard slice, torn-tail state, log and spill
       sizes; over several directories, the union gap list a merge would
       refuse on. Safe to run while a campaign is executing.
-  campaign report <report.json|campaign-dir>
-      Render a saved report as a human-readable table.
+  campaign watch <campaign-dir> [--interval SECS] [--json]
+      Live progress for one campaign directory: completed/missing runs with
+      a progress bar, throughput and ETA, per-worker utilization and
+      per-stage latency quantiles (from DIR/events.jsonl when the campaign
+      runs with --telemetry). Loops every --interval seconds (default 2)
+      until every run is stored; --json prints one snapshot and exits.
+      Read-only and torn-tail-tolerant — safe against a live campaign.
+  campaign report <report.json|campaign-dir> [--timings]
+      Render a saved report as a human-readable table. With --timings,
+      aggregate DIR/events.jsonl instead and print the timing summary JSON
+      (per-stage histograms, worker utilization, counter totals) — the
+      schema committed as BENCH_campaign.json.
 ";
 
 fn main() -> ExitCode {
@@ -88,7 +105,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("merge") => cmd_merge(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
-        Some("report") => cmd_report(args.get(1).ok_or("report needs a report path")?),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
     }
@@ -107,6 +125,7 @@ struct ExecFlags {
     index: Option<usize>,
     spill_threshold: Option<usize>,
     no_spill: bool,
+    telemetry: bool,
     quiet: bool,
 }
 
@@ -157,6 +176,7 @@ impl ExecFlags {
                     );
                 }
                 "--no-spill" if allow_spill => flags.no_spill = true,
+                "--telemetry" => flags.telemetry = true,
                 "--quiet" => flags.quiet = true,
                 other if !other.starts_with('-') => {
                     flags.paths.push(other.to_string());
@@ -214,10 +234,24 @@ fn cmd_expand(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the telemetry handle for an executing subcommand: a JSONL sink
+/// on `dir/events.jsonl`, created fresh (`run`/`shard`) or appended to
+/// with continued sequence numbers (`resume`).
+fn telemetry_in(dir: &Path, append: bool) -> Result<Telemetry, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(EVENTS_FILE);
+    let telemetry = if append {
+        Telemetry::append_jsonl_file(&path)
+    } else {
+        Telemetry::to_jsonl_file(&path)
+    };
+    telemetry.map_err(|e| format!("cannot open event log {}: {e}", path.display()))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = ExecFlags::parse(args, true, false, false, true)?;
     let spec = load_spec(flags.single_path("run")?)?;
-    let executor = flags.executor();
+    let mut executor = flags.executor();
     let runs = expand(&spec).map_err(|e| e.to_string())?;
     if !flags.quiet {
         eprintln!(
@@ -233,6 +267,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // A .json path keeps the original single-file behaviour; anything
         // else is a campaign directory that streams runs.jsonl.
         Some(path) if path.extension().and_then(|e| e.to_str()) != Some("json") => {
+            if flags.telemetry {
+                executor = executor.with_telemetry(telemetry_in(path, false)?);
+            }
             let report =
                 run_streaming_expanded_with(&executor, &spec, &runs, path, flags.spill_policy())
                     .map_err(|e| e.to_string())?;
@@ -242,6 +279,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             if flags.spill_threshold.is_some() {
                 return Err(
                     "--spill-threshold needs a campaign directory (run with --out DIR)".to_string(),
+                );
+            }
+            if flags.telemetry {
+                return Err(
+                    "--telemetry needs a campaign directory (run with --out DIR)".to_string(),
                 );
             }
             let results = executor.execute_runs(&spec.sim, &runs);
@@ -269,7 +311,10 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         Some(path) => Some(load_spec(path)?),
         None => None,
     };
-    let executor = flags.executor();
+    let mut executor = flags.executor();
+    if flags.telemetry {
+        executor = executor.with_telemetry(telemetry_in(Path::new(dir), true)?);
+    }
     if !flags.quiet {
         eprintln!(
             "resuming campaign in {dir} on {} workers...",
@@ -308,7 +353,10 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
         count: flags.shards.ok_or("shard needs --shards N")?,
     };
     let out = flags.out.clone().ok_or("shard needs --out DIR")?;
-    let executor = flags.executor();
+    let mut executor = flags.executor();
+    if flags.telemetry {
+        executor = executor.with_telemetry(telemetry_in(&out, false)?);
+    }
     let runs = expand(&spec).map_err(|e| e.to_string())?;
     if !flags.quiet {
         eprintln!(
@@ -340,6 +388,9 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     let flags = ExecFlags::parse(args, true, false, false, true)?;
     if flags.paths.is_empty() {
         return Err("merge needs at least one shard directory".to_string());
+    }
+    if flags.telemetry {
+        return Err("merge does not execute runs; --telemetry applies to run/resume/shard".into());
     }
     let out = flags.out.clone().ok_or("merge needs --out DIR")?;
     let inputs: Vec<PathBuf> = flags.paths.iter().map(PathBuf::from).collect();
@@ -441,7 +492,81 @@ fn finish(report: &CampaignReport, started: Instant, written_to: Option<&Path>, 
     }
 }
 
-fn cmd_report(path: &str) -> Result<(), String> {
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut interval = 2.0f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs seconds")?;
+                interval = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid interval `{v}`"))?
+                    .max(0.1);
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let [dir] = paths.as_slice() else {
+        return Err("watch takes exactly one campaign directory".to_string());
+    };
+    let path = Path::new(dir);
+    if json {
+        // One machine-readable snapshot and exit — the CI entry point.
+        let snapshot = WatchSnapshot::capture(path).map_err(|e| e.to_string())?;
+        println!("{}", snapshot.to_json());
+        return Ok(());
+    }
+    let clear = std::io::stdout().is_terminal();
+    loop {
+        let snapshot = WatchSnapshot::capture(path).map_err(|e| e.to_string())?;
+        if clear {
+            // Home the cursor and wipe the previous frame.
+            print!("\x1b[H\x1b[2J");
+        }
+        print!("{}", snapshot.render());
+        if snapshot.complete() {
+            break;
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut timings = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--timings" => timings = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        return Err("report takes exactly one report path or campaign directory".to_string());
+    };
+    if timings {
+        // Aggregate the telemetry event log instead of the run report.
+        let file = if Path::new(path).is_dir() {
+            Path::new(path).join(EVENTS_FILE)
+        } else {
+            PathBuf::from(path)
+        };
+        let summary = summarize_events(&file).map_err(|e| e.to_string())?;
+        if summary.events == 0 {
+            return Err(format!(
+                "{} holds no telemetry events; run the campaign with --telemetry",
+                file.display()
+            ));
+        }
+        println!("{}", summary.to_json());
+        return Ok(());
+    }
     // Accept either a report file or a campaign directory.
     let file = if Path::new(path).is_dir() {
         Path::new(path).join("report.json")

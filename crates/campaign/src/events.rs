@@ -1,0 +1,366 @@
+//! Reading and summarizing a campaign's telemetry event log.
+//!
+//! A campaign executed with telemetry enabled streams index-tagged JSONL
+//! events (spans, counter deltas, histogram deltas — see
+//! [`dl2fence_telemetry`]) into `events.jsonl` next to `runs.jsonl`. This
+//! module is the read side: [`read_events`] loads the log through the same
+//! torn-tail-tolerant scanner as the run log (a torn final line is the
+//! shape of an in-flight append, not corruption), and [`summarize`] folds
+//! the events into a [`TimingSummary`] — per-stage latency histograms
+//! (p50/p90/p99/max), per-worker utilization and counter totals — which is
+//! what `campaign watch` renders live and `campaign report --timings`
+//! emits as the benchmark baseline schema.
+
+use crate::spec::SpecError;
+use crate::stream::scan_jsonl;
+use dl2fence_telemetry::{Event, EventData, Histogram};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::path::Path;
+
+/// Schema tag stamped into every [`TimingSummary`] so committed baselines
+/// (`BENCH_campaign.json`) are self-describing.
+pub const TIMINGS_SCHEMA: &str = "dl2fence-campaign/timings/v1";
+
+/// A loaded telemetry event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// Every whole event, in file order.
+    pub events: Vec<Event>,
+    /// Whether the log ended in a torn (in-flight or crash-truncated) line.
+    pub truncated_tail: bool,
+}
+
+/// Reads `events.jsonl` at `path`. A missing file yields an empty log (a
+/// campaign run without telemetry has no events — that is not an error);
+/// a torn final line is tolerated and flagged, mid-file garbage is not.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the log holds an unparseable line that is
+/// *not* the final one, or on any I/O failure other than the file missing.
+pub fn read_events(path: &Path) -> Result<EventLog, SpecError> {
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(EventLog::default()),
+        Err(e) => {
+            return Err(SpecError::new(format!(
+                "cannot open event log {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let mut events = Vec::new();
+    let scan = scan_jsonl(file, path, "event log", |_, _, line| {
+        match Event::parse(line) {
+            Ok(event) => {
+                events.push(event);
+                Ok(None)
+            }
+            Err(e) => Ok(Some(e.0)),
+        }
+    })?;
+    Ok(EventLog {
+        events,
+        truncated_tail: scan.truncated_tail,
+    })
+}
+
+/// One named stage's aggregated timing distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`stage.detect`, `run`, `nn.detector.fwd.0.Conv2d`, ...).
+    pub name: String,
+    /// Observations aggregated into the distribution.
+    pub count: u64,
+    /// Mean duration, microseconds.
+    pub mean_us: u64,
+    /// Median duration, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile duration, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile duration, microseconds.
+    pub p99_us: u64,
+    /// Largest observed duration, microseconds.
+    pub max_us: u64,
+}
+
+/// One worker thread's aggregated busy time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerUtilization {
+    /// The worker's pool ordinal.
+    pub worker: u64,
+    /// Jobs the worker completed.
+    pub jobs: u64,
+    /// Total busy time, microseconds.
+    pub busy_us: u64,
+    /// `busy_us` over the log's wall-clock extent, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// One counter's summed total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterTotal {
+    /// Counter name.
+    pub name: String,
+    /// Sum of every recorded delta.
+    pub total: u64,
+}
+
+/// The aggregate view over one telemetry event log: what `campaign watch`
+/// renders and `campaign report --timings` emits.
+///
+/// Stages merge both sources of duration data — explicit `hist` delta
+/// events and individual `span` events — bucket-exactly, so a stage timed
+/// via [`dl2fence_telemetry::Recorder::time`] and one timed via spans land
+/// in the same table. Stages, workers and counters are sorted by name /
+/// ordinal for deterministic output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingSummary {
+    /// Schema tag ([`TIMINGS_SCHEMA`]).
+    pub schema: String,
+    /// Whole events aggregated.
+    pub events: usize,
+    /// Whether the log ended in a torn line (campaign still writing).
+    pub truncated_tail: bool,
+    /// The log's wall-clock extent: the largest event end time,
+    /// microseconds since the telemetry epoch.
+    pub wall_us: u64,
+    /// Per-stage latency distributions, sorted by name.
+    pub stages: Vec<StageTiming>,
+    /// Per-worker busy time, sorted by ordinal. Only workers that recorded
+    /// `worker.busy_us` / `worker.jobs` counters appear.
+    pub workers: Vec<WorkerUtilization>,
+    /// Counter totals, sorted by name (`worker.*` counters are folded into
+    /// [`Self::workers`] instead).
+    pub counters: Vec<CounterTotal>,
+}
+
+impl TimingSummary {
+    /// Serializes the summary as pretty JSON — the `campaign report
+    /// --timings` output and the committed `BENCH_campaign.json` schema.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("timing serialization cannot fail")
+    }
+
+    /// Parses a summary back from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::new(format!("invalid timings: {e}")))
+    }
+
+    /// The named stage, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageTiming> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The named counter total (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.total)
+            .unwrap_or(0)
+    }
+}
+
+/// Folds an event log into its [`TimingSummary`].
+pub fn summarize(log: &EventLog) -> TimingSummary {
+    let mut stages: Vec<(String, Histogram)> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut workers: Vec<(u64, u64, u64)> = Vec::new(); // (ordinal, jobs, busy_us)
+    let mut wall_us = 0u64;
+    for event in &log.events {
+        match &event.data {
+            EventData::Span { name, dur_us, .. } => {
+                wall_us = wall_us.max(event.t_us.saturating_add(*dur_us));
+                stage_mut(&mut stages, name).record_us(*dur_us);
+            }
+            EventData::Hist { name, .. } => {
+                wall_us = wall_us.max(event.t_us);
+                if let Some(hist) = event.as_histogram() {
+                    stage_mut(&mut stages, name).merge(&hist);
+                }
+            }
+            EventData::Counter { name, delta, index } => {
+                wall_us = wall_us.max(event.t_us);
+                match (name.as_str(), index) {
+                    ("worker.jobs", Some(w)) => worker_mut(&mut workers, *w).1 += delta,
+                    ("worker.busy_us", Some(w)) => worker_mut(&mut workers, *w).2 += delta,
+                    _ => match counters.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, total)) => *total += delta,
+                        None => counters.push((name.clone(), *delta)),
+                    },
+                }
+            }
+        }
+    }
+    let mut stages: Vec<StageTiming> = stages
+        .into_iter()
+        .map(|(name, hist)| StageTiming {
+            name,
+            count: hist.count(),
+            mean_us: hist.mean_us(),
+            p50_us: hist.p50_us(),
+            p90_us: hist.p90_us(),
+            p99_us: hist.p99_us(),
+            max_us: hist.max_us(),
+        })
+        .collect();
+    stages.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut workers: Vec<WorkerUtilization> = workers
+        .into_iter()
+        .map(|(worker, jobs, busy_us)| WorkerUtilization {
+            worker,
+            jobs,
+            busy_us,
+            utilization: if wall_us > 0 {
+                (busy_us as f64 / wall_us as f64).min(1.0)
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    workers.sort_by_key(|w| w.worker);
+    let mut counters: Vec<CounterTotal> = counters
+        .into_iter()
+        .map(|(name, total)| CounterTotal { name, total })
+        .collect();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    TimingSummary {
+        schema: TIMINGS_SCHEMA.to_string(),
+        events: log.events.len(),
+        truncated_tail: log.truncated_tail,
+        wall_us,
+        stages,
+        workers,
+        counters,
+    }
+}
+
+/// [`read_events`] + [`summarize`] in one call.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] under the same conditions as [`read_events`].
+pub fn summarize_events(path: &Path) -> Result<TimingSummary, SpecError> {
+    Ok(summarize(&read_events(path)?))
+}
+
+fn stage_mut<'a>(stages: &'a mut Vec<(String, Histogram)>, name: &str) -> &'a mut Histogram {
+    if let Some(i) = stages.iter().position(|(n, _)| n == name) {
+        return &mut stages[i].1;
+    }
+    stages.push((name.to_string(), Histogram::new()));
+    &mut stages.last_mut().expect("just pushed").1
+}
+
+fn worker_mut(workers: &mut Vec<(u64, u64, u64)>, ordinal: u64) -> &mut (u64, u64, u64) {
+    if let Some(i) = workers.iter().position(|(w, _, _)| *w == ordinal) {
+        return &mut workers[i];
+    }
+    workers.push((ordinal, 0, 0));
+    workers.last_mut().expect("just pushed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl2fence_telemetry::{MemorySink, Telemetry};
+    use std::sync::Arc;
+
+    fn write_log(dir: &Path, lines: &[&str]) -> std::path::PathBuf {
+        let path = dir.join("events.jsonl");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        path
+    }
+
+    fn events_from_recorder(f: impl FnOnce(&dl2fence_telemetry::Recorder)) -> Vec<Event> {
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let rec = telemetry.recorder();
+        f(&rec);
+        drop(rec);
+        sink.take()
+    }
+
+    #[test]
+    fn missing_log_is_empty_not_an_error() {
+        let dir = std::env::temp_dir().join("dl2fence-events-missing");
+        let log = read_events(&dir.join("nope.jsonl")).unwrap();
+        assert!(log.events.is_empty());
+        assert!(!log.truncated_tail);
+        let summary = summarize(&log);
+        assert_eq!(summary.events, 0);
+        assert!(summary.stages.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_mid_file_garbage_is_not() {
+        let dir = std::env::temp_dir().join("dl2fence-events-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = events_from_recorder(|rec| {
+            rec.time("stage.detect", || {
+                std::thread::sleep(std::time::Duration::from_micros(50))
+            });
+            rec.add("runs", 2);
+        });
+        let mut lines: Vec<String> = events.iter().map(|e| e.emit()).collect();
+        assert!(lines.len() >= 2, "expected hist + counter deltas");
+        let whole = lines.clone();
+        lines.push("{\"seq\":99,\"t_us\":1,\"wor".to_string()); // torn tail
+        let path = write_log(&dir, &lines.iter().map(String::as_str).collect::<Vec<_>>());
+        let log = read_events(&path).unwrap();
+        assert_eq!(log.events.len(), whole.len());
+        assert!(log.truncated_tail);
+
+        let mut bad = whole.clone();
+        bad.insert(0, "not json".to_string());
+        let path = write_log(&dir, &bad.iter().map(String::as_str).collect::<Vec<_>>());
+        assert!(read_events(&path).is_err(), "mid-file garbage must error");
+    }
+
+    #[test]
+    fn summary_merges_spans_hists_and_worker_counters() {
+        let events = events_from_recorder(|rec| {
+            rec.record_us("stage.detect", 100);
+            rec.record_us("stage.detect", 300);
+            {
+                let _g = rec.span("campaign.execute");
+            }
+            rec.add_indexed("worker.jobs", 0, 3);
+            rec.add_indexed("worker.busy_us", 0, 900);
+            rec.add_indexed("worker.jobs", 1, 2);
+            rec.add_indexed("worker.busy_us", 1, 500);
+            rec.add("executor.worker_panics", 1);
+        });
+        let summary = summarize(&EventLog {
+            events,
+            truncated_tail: false,
+        });
+        let detect = summary.stage("stage.detect").unwrap();
+        assert_eq!(detect.count, 2);
+        assert!(detect.max_us >= 256, "300µs lands in the [256,512) bucket");
+        assert!(summary.stage("campaign.execute").is_some());
+        assert_eq!(summary.workers.len(), 2);
+        assert_eq!(summary.workers[0].worker, 0);
+        assert_eq!(summary.workers[0].jobs, 3);
+        assert_eq!(summary.workers[0].busy_us, 900);
+        assert_eq!(summary.workers[1].jobs, 2);
+        assert_eq!(summary.counter("executor.worker_panics"), 1);
+        assert!(
+            summary
+                .counters
+                .iter()
+                .all(|c| !c.name.starts_with("worker.")),
+            "worker counters fold into the workers table"
+        );
+        // Deterministic ordering and a lossless JSON round trip.
+        let parsed = TimingSummary::from_json(&summary.to_json()).unwrap();
+        assert_eq!(parsed, summary);
+        assert_eq!(parsed.schema, TIMINGS_SCHEMA);
+    }
+}

@@ -9,11 +9,14 @@
 
 use crate::grid::{self, RunSpec};
 use crate::spec::{CampaignSpec, SimParams, SpecError};
+use dl2fence_telemetry::Telemetry;
 use noc_monitor::{FrameSampler, GroundTruth, LabeledSample};
 use noc_sim::{EnergyModel, NocConfig};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Scalar measurements of one finished run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,10 +122,49 @@ pub fn execute_run(sim: &SimParams, run: &RunSpec) -> RunResult {
     }
 }
 
+/// A worker job panicked.
+///
+/// The pool catches the unwind and reports the exact job index plus the
+/// rendered panic payload, so campaign tooling can name the failed run
+/// instead of surfacing an opaque pool panic. Every run that completed
+/// before the panic has already been delivered to the observer (and, in the
+/// streaming layer, persisted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job whose closure panicked.
+    pub job_index: usize,
+    /// The panic payload rendered as text (`&str` / `String` payloads are
+    /// kept verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker job {} panicked: {}",
+            self.job_index, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs campaigns over a pool of worker threads.
 #[derive(Debug, Clone)]
 pub struct Executor {
     workers: usize,
+    telemetry: Telemetry,
 }
 
 impl Executor {
@@ -130,7 +172,23 @@ impl Executor {
     pub fn new(workers: usize) -> Self {
         Executor {
             workers: workers.max(1),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle. Each worker thread then records
+    /// per-job queue-wait (`worker.queue_wait`) and per-worker busy time and
+    /// job counts (`worker.busy_us` / `worker.jobs`, indexed by the worker's
+    /// pool ordinal), and caught panics increment `executor.worker_panics`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The executor's telemetry handle (disabled unless
+    /// [`Self::with_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// An executor sized to the machine's available parallelism.
@@ -157,7 +215,8 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panics (a bug in the simulator stack).
+    /// Panics if a run panics (a bug in the simulator stack), naming the
+    /// failed run's job index (see [`JobPanic`]).
     pub fn execute(&self, spec: &CampaignSpec) -> Result<CampaignOutcome, SpecError> {
         let runs = grid::expand(spec)?;
         let results = self.execute_runs(&spec.sim, &runs);
@@ -209,6 +268,11 @@ impl Executor {
 
     /// [`Self::run_jobs`] plus a completion observer invoked on the calling
     /// thread, in completion order, with each `(job index, result)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job closure panics, with a message naming the job index
+    /// (see [`JobPanic`]).
     pub fn run_jobs_with<T, R>(
         &self,
         jobs: &[T],
@@ -223,34 +287,42 @@ impl Executor {
             observer(i, r);
             true
         })
+        .unwrap_or_else(|p| panic!("{p}"))
         .expect("an always-continue observer cannot abort")
     }
 
     /// [`Self::run_jobs_with`] with an abortable observer: returning `false`
     /// stops scheduling new jobs, drains the pool (in-flight jobs finish and
-    /// are discarded) and yields `None`.
+    /// are discarded) and yields `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobPanic`] naming the failing job index if a job closure
+    /// panics.
     pub fn try_run_jobs_with<T, R>(
         &self,
         jobs: &[T],
         job: impl Fn(&T) -> R + Sync,
         mut observer: impl FnMut(usize, &R) -> bool,
-    ) -> Option<Vec<R>>
+    ) -> Result<Option<Vec<R>>, JobPanic>
     where
         T: Sync,
         R: Send,
     {
         let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
-        self.try_run_jobs_foreach(jobs, job, |i, result| {
+        match self.try_run_jobs_foreach(jobs, job, |i, result| {
             let keep_going = observer(i, &result);
             slots[i] = Some(result);
             keep_going
-        })?;
-        Some(
-            slots
-                .into_iter()
-                .map(|r| r.expect("every job index is executed exactly once"))
-                .collect(),
-        )
+        })? {
+            None => Ok(None),
+            Some(()) => Ok(Some(
+                slots
+                    .into_iter()
+                    .map(|r| r.expect("every job index is executed exactly once"))
+                    .collect(),
+            )),
+        }
     }
 
     /// The streaming primitive behind the pool: runs every job, handing each
@@ -262,67 +334,149 @@ impl Executor {
     ///
     /// Returning `false` from the observer aborts: no new jobs are
     /// scheduled, in-flight jobs finish and are discarded, and the call
-    /// yields `None`. This is what lets bigger-than-memory campaigns stream
-    /// every run straight to disk ([`crate::stream`]) without the pool ever
-    /// collecting a `Vec` of results.
+    /// yields `Ok(None)`. This is what lets bigger-than-memory campaigns
+    /// stream every run straight to disk ([`crate::stream`]) without the
+    /// pool ever collecting a `Vec` of results.
+    ///
+    /// # Errors
+    ///
+    /// A panicking job closure is caught and returned as a [`JobPanic`]
+    /// naming the failing job index; no new jobs are scheduled after the
+    /// panic, and results already handed to the observer stay delivered.
     pub fn try_run_jobs_foreach<T, R>(
         &self,
         jobs: &[T],
         job: impl Fn(&T) -> R + Sync,
         mut observer: impl FnMut(usize, R) -> bool,
-    ) -> Option<()>
+    ) -> Result<Option<()>, JobPanic>
     where
         T: Sync,
         R: Send,
     {
         if jobs.is_empty() {
-            return Some(());
+            return Ok(Some(()));
         }
         let workers = self.workers.min(jobs.len());
         if workers == 1 {
+            let rec = self.telemetry.recorder();
+            let enabled = rec.is_enabled();
+            let mut idle_since = enabled.then(Instant::now);
             for (i, j) in jobs.iter().enumerate() {
-                if !observer(i, job(j)) {
-                    return None;
+                if let Some(at) = idle_since {
+                    rec.record("worker.queue_wait", at.elapsed());
+                }
+                let started = enabled.then(Instant::now);
+                let outcome = catch_unwind(AssertUnwindSafe(|| job(j)));
+                if let Some(at) = started {
+                    rec.add_indexed("worker.busy_us", 0, at.elapsed().as_micros() as u64);
+                    rec.add_indexed("worker.jobs", 0, 1);
+                    idle_since = Some(Instant::now());
+                }
+                match outcome {
+                    Ok(result) => {
+                        if !observer(i, result) {
+                            return Ok(None);
+                        }
+                    }
+                    Err(payload) => {
+                        rec.add("executor.worker_panics", 1);
+                        return Err(JobPanic {
+                            job_index: i,
+                            message: panic_message(payload),
+                        });
+                    }
                 }
             }
-            return Some(());
+            return Ok(Some(()));
+        }
+        enum WorkerMsg<R> {
+            Done(usize, R),
+            Panicked(usize, String),
         }
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let (tx, rx) = mpsc::channel::<WorkerMsg<R>>();
         let mut aborted = false;
+        let mut panicked: Option<JobPanic> = None;
+        let telemetry = &self.telemetry;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let job = &job;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let result = job(&jobs[i]);
-                    if tx.send((i, result)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let rec = telemetry.recorder();
+                    let enabled = rec.is_enabled();
+                    let mut idle_since = enabled.then(Instant::now);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        if let Some(at) = idle_since {
+                            rec.record("worker.queue_wait", at.elapsed());
+                        }
+                        let started = enabled.then(Instant::now);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| job(&jobs[i])));
+                        if let Some(at) = started {
+                            rec.add_indexed(
+                                "worker.busy_us",
+                                w as u64,
+                                at.elapsed().as_micros() as u64,
+                            );
+                            rec.add_indexed("worker.jobs", w as u64, 1);
+                            idle_since = Some(Instant::now());
+                        }
+                        match outcome {
+                            Ok(result) => {
+                                if tx.send(WorkerMsg::Done(i, result)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                rec.add("executor.worker_panics", 1);
+                                // Stop handing out new indices; sibling
+                                // workers finish their in-flight job and
+                                // drain.
+                                next.store(jobs.len(), Ordering::Relaxed);
+                                let _ = tx.send(WorkerMsg::Panicked(i, panic_message(payload)));
+                                break;
+                            }
+                        }
                     }
                 });
             }
             drop(tx);
             // Streamed delivery: each result is observed (and dropped) as it
             // arrives instead of buffering channel messages until the end.
-            for (i, result) in rx {
-                if !observer(i, result) {
-                    // Abort: stop handing out new job indices and drop the
-                    // receiver so in-flight senders unblock and drain.
-                    aborted = true;
-                    next.store(jobs.len(), Ordering::Relaxed);
-                    break;
+            for msg in rx {
+                match msg {
+                    WorkerMsg::Done(i, result) => {
+                        if !observer(i, result) {
+                            // Abort: stop handing out new job indices and
+                            // drop the receiver so in-flight senders unblock
+                            // and drain.
+                            aborted = true;
+                            next.store(jobs.len(), Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    WorkerMsg::Panicked(i, message) => {
+                        panicked = Some(JobPanic {
+                            job_index: i,
+                            message,
+                        });
+                        next.store(jobs.len(), Ordering::Relaxed);
+                        break;
+                    }
                 }
             }
         });
-        if aborted {
-            None
+        if let Some(p) = panicked {
+            Err(p)
+        } else if aborted {
+            Ok(None)
         } else {
-            Some(())
+            Ok(Some(()))
         }
     }
 }
@@ -410,7 +564,7 @@ mod tests {
                     true
                 },
             );
-            assert_eq!(done, Some(()));
+            assert_eq!(done, Ok(Some(())));
             assert!(seen.iter().all(|&s| s));
 
             let mut count = 0;
@@ -422,8 +576,73 @@ mod tests {
                     count < 3
                 },
             );
-            assert_eq!(aborted, None, "a false observer must abort the pool");
+            assert_eq!(aborted, Ok(None), "a false observer must abort the pool");
         }
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_with_its_job_index() {
+        let jobs: Vec<u64> = (0..8).collect();
+        for workers in [1, 4] {
+            let err = Executor::new(workers)
+                .try_run_jobs_foreach(
+                    &jobs,
+                    |&j| {
+                        if j == 5 {
+                            panic!("boom on {j}");
+                        }
+                        j
+                    },
+                    |i, r| {
+                        assert_eq!(r, jobs[i]);
+                        true
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err.job_index, 5);
+            assert!(err.message.contains("boom on 5"), "{err:?}");
+            assert!(err.to_string().contains("worker job 5 panicked"));
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_counted_in_telemetry() {
+        use dl2fence_telemetry::{EventData, MemorySink, Telemetry};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let executor = Executor::new(2).with_telemetry(Telemetry::with_sink(sink.clone()));
+        let jobs: Vec<u64> = (0..6).collect();
+        let err = executor
+            .try_run_jobs_foreach(
+                &jobs,
+                |&j| {
+                    if j == 2 {
+                        panic!("sim bug");
+                    }
+                    j
+                },
+                |_, _| true,
+            )
+            .unwrap_err();
+        assert_eq!(err.job_index, 2);
+        let events = sink.snapshot();
+        let panics: u64 = events
+            .iter()
+            .filter_map(|e| match &e.data {
+                EventData::Counter { name, delta, .. } if name == "executor.worker_panics" => {
+                    Some(*delta)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(panics, 1, "exactly one panic must be counted");
+        assert!(
+            events.iter().any(
+                |e| matches!(&e.data, EventData::Counter { name, .. } if name == "worker.jobs")
+            ),
+            "workers must report job counts"
+        );
     }
 
     #[test]

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod compact;
+pub mod events;
 pub mod executor;
 pub mod grid;
 pub mod merge;
@@ -82,9 +83,14 @@ pub mod spec;
 pub mod spill;
 pub mod status;
 pub mod stream;
+pub mod watch;
 
 pub use compact::{compact, CompactStats};
-pub use executor::{execute_run, CampaignOutcome, Executor, RunMetrics, RunResult};
+pub use events::{
+    read_events, summarize, summarize_events, CounterTotal, EventLog, StageTiming, TimingSummary,
+    WorkerUtilization, TIMINGS_SCHEMA,
+};
+pub use executor::{execute_run, CampaignOutcome, Executor, JobPanic, RunMetrics, RunResult};
 pub use grid::{derive_run_seed, expand, runs_from_scenarios, RunSpec};
 pub use merge::{merge, merge_with};
 pub use report::{split_by_benchmark, CampaignReport, EvalEntry, GroupSummary, ReportAccumulator};
@@ -93,8 +99,9 @@ pub use spec::{
     SimParams, SpecError,
 };
 pub use spill::{SampleBatch, SampleStore, SpillStats};
-pub use status::{status, DirStatus, StatusReport};
+pub use status::{human_bytes, status, DirStatus, StatusReport};
 pub use stream::{
     resume, resume_with, run_shard, run_streaming, spec_fingerprint, CampaignDir, LogIndex,
-    Manifest, RecordEntry, ShardSlice, SpillPolicy, DEFAULT_SPILL_THRESHOLD,
+    Manifest, RecordEntry, ShardSlice, SpillPolicy, DEFAULT_SPILL_THRESHOLD, EVENTS_FILE,
 };
+pub use watch::WatchSnapshot;

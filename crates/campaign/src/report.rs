@@ -21,6 +21,7 @@ use crate::spec::{parse_feature, validate_group_by, CampaignSpec, EvalSpec, Spec
 use crate::spill::SampleStore;
 use dl2fence::evaluation::evaluate;
 use dl2fence::{Dl2Fence, EvaluationReport, FenceConfig};
+use dl2fence_telemetry::Recorder;
 use noc_monitor::LabeledSample;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -400,6 +401,7 @@ pub struct ReportAccumulator {
     groups: Vec<GroupAccumulator>,
     eval_pools: Vec<EvalPool>,
     spill: Option<SpillState>,
+    telemetry: Recorder,
 }
 
 impl ReportAccumulator {
@@ -438,7 +440,15 @@ impl ReportAccumulator {
             groups: Vec::new(),
             eval_pools: Vec::new(),
             spill: None,
+            telemetry: Recorder::default(),
         })
+    }
+
+    /// Attaches a telemetry recorder: spill-store appends are timed into a
+    /// `spill.append` histogram.
+    pub fn with_telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
     }
 
     /// Puts the accumulator in spill mode: whenever the buffered eval
@@ -514,10 +524,13 @@ impl ReportAccumulator {
             }
             if let Some(spill) = &mut self.spill {
                 if self.eval_pools.iter().map(|p| p.retained).sum::<usize>() >= spill.threshold {
+                    let rec = &self.telemetry;
                     for pool in &mut self.eval_pools {
                         for (index, samples) in pool.batches.drain(..) {
                             pool.spilled += samples.len();
-                            spill.store.append_batch(pool.mesh, index, samples)?;
+                            rec.time("spill.append", || {
+                                spill.store.append_batch(pool.mesh, index, samples)
+                            })?;
                         }
                         pool.retained = 0;
                     }
@@ -707,19 +720,22 @@ fn run_eval_phase(
         });
     }
 
+    let telemetry = executor.telemetry();
     Ok(executor.run_jobs(&jobs, |job| {
+        let rec = telemetry.recorder();
         let mut config = FenceConfig::new(job.mesh, job.mesh)
             .with_seed(job.seed)
             .with_epochs(eval.detector_epochs, eval.localizer_epochs);
         config.detection_feature = detection;
         config.localization_feature = localization;
         let mut fence = Dl2Fence::new(config);
-        fence.train(&job.train);
+        fence.set_telemetry(rec.clone());
+        rec.time("eval.train", || fence.train(&job.train));
         EvalEntry {
             mesh: job.mesh,
             train_samples: job.train.len(),
             test_samples: job.test.len(),
-            report: evaluate(&mut fence, &job.test),
+            report: rec.time("eval.evaluate", || evaluate(&mut fence, &job.test)),
         }
     }))
 }

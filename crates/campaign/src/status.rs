@@ -90,10 +90,11 @@ impl StatusReport {
             };
             let _ = writeln!(
                 out,
-                "  runs: {}/{} stored{shard}, {} missing, log {} bytes{}{}",
+                "  runs: {}/{} stored{shard}, {} missing, log {} ({} bytes){}{}",
                 dir.completed,
                 dir.owned_runs,
                 dir.missing.len(),
+                human_bytes(dir.runs_bytes),
                 dir.runs_bytes,
                 if dir.truncated_tail {
                     ", torn tail"
@@ -112,10 +113,11 @@ impl StatusReport {
             if let Some(spill) = &dir.spill {
                 let _ = writeln!(
                     out,
-                    "  spill: {} samples in {} batches across {} files, {} bytes{}",
+                    "  spill: {} samples in {} batches across {} files, {} ({} bytes){}",
                     spill.samples,
                     spill.batches,
                     spill.files,
+                    human_bytes(spill.bytes),
                     spill.bytes,
                     if spill.truncated_tail {
                         " (torn tail)"
@@ -158,6 +160,23 @@ impl StatusReport {
         }
         out
     }
+}
+
+/// Renders a byte count as a human-readable size (`813 B`, `4.2 KiB`,
+/// `1.7 MiB`, ...). The raw count stays available in the `--json` output;
+/// this is for the human render only.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["KiB", "MiB", "GiB", "TiB", "PiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64 / 1024.0;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1} {}", UNITS[unit])
 }
 
 /// Renders up to `limit` indices, eliding the rest with a count.
@@ -261,4 +280,18 @@ pub fn status(paths: &[PathBuf]) -> Result<StatusReport, SpecError> {
         fingerprints_agree,
         union_missing,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_picks_sensible_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(813), "813 B");
+        assert_eq!(human_bytes(4 * 1024 + 205), "4.2 KiB");
+        assert_eq!(human_bytes(1_782_579), "1.7 MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
 }

@@ -45,6 +45,8 @@ pub const REPORT_FILE: &str = "report.json";
 /// Directory name of the spilled eval sample store inside a campaign
 /// directory ([`crate::spill`]).
 pub const SAMPLES_DIR: &str = "samples";
+/// File name of the optional telemetry event log ([`crate::events`]).
+pub const EVENTS_FILE: &str = "events.jsonl";
 
 /// Default in-memory eval sample bound of the streaming paths: once an
 /// eval-enabled campaign buffers this many labeled samples, they spill to
@@ -301,6 +303,12 @@ impl CampaignDir {
     /// The path of the spilled eval sample store ([`crate::spill`]).
     pub fn samples_path(&self) -> PathBuf {
         self.root.join(SAMPLES_DIR)
+    }
+
+    /// The path of the optional telemetry event log (only present when the
+    /// campaign ran with telemetry enabled; see [`crate::events`]).
+    pub fn events_path(&self) -> PathBuf {
+        self.root.join(EVENTS_FILE)
     }
 
     /// Reads and self-checks the manifest (the stored fingerprint must match
@@ -723,12 +731,17 @@ pub fn run_streaming_expanded_with(
     root: impl Into<PathBuf>,
     spill: SpillPolicy,
 ) -> Result<CampaignReport, SpecError> {
+    let rec = executor.telemetry().recorder();
     let dir = CampaignDir::create(root, spec, runs.len())?;
     let mut writer = dir.open_runs_for_append()?;
-    stream_pending(executor, spec, runs, &dir, &mut writer)?;
+    rec.time("campaign.execute", || {
+        stream_pending(executor, spec, runs, &dir, &mut writer)
+    })?;
     drop(writer);
     let index = dir.index_log(runs)?;
-    report_from_log(executor, &dir, spec, runs, &index, spill)
+    rec.time("campaign.report", || {
+        report_from_log(executor, &dir, spec, runs, &index, spill)
+    })
 }
 
 /// Executes a shard of `spec`: the strided slice `shard` of the run matrix,
@@ -794,11 +807,17 @@ fn stream_pending(
     dir: &CampaignDir,
     writer: &mut File,
 ) -> Result<(), SpecError> {
+    let telemetry = executor.telemetry();
+    let obs_rec = telemetry.recorder();
     let mut write_error: Option<SpecError> = None;
     let done = executor.try_run_jobs_foreach(
         pending,
-        |run| execute_run(&spec.sim, run),
-        |_, result| match dir.append_result(writer, &result) {
+        |run| {
+            let rec = telemetry.recorder();
+            let _span = rec.span_indexed("run", run.index as u64);
+            execute_run(&spec.sim, run)
+        },
+        |_, result| match obs_rec.time("log.append", || dir.append_result(writer, &result)) {
             Ok(()) => true,
             Err(e) => {
                 write_error = Some(e);
@@ -807,9 +826,17 @@ fn stream_pending(
         },
     );
     match (done, write_error) {
-        (Some(()), None) => Ok(()),
+        (Err(panic), _) => Err(SpecError::new(format!(
+            "run {} panicked mid-campaign: {}; every run completed before the \
+             panic is already persisted in {} — fix the cause and `campaign \
+             resume` the directory to execute only the missing runs",
+            pending[panic.job_index].index,
+            panic.message,
+            dir.root().display()
+        ))),
+        (Ok(Some(())), None) => Ok(()),
         (_, Some(e)) => Err(e),
-        (None, None) => unreachable!("pool aborts only after a write error"),
+        (Ok(None), None) => unreachable!("pool aborts only after a write error"),
     }
 }
 
@@ -936,7 +963,8 @@ pub(crate) fn report_from_log(
             runs.len()
         )));
     }
-    let mut acc = ReportAccumulator::for_spec(spec)?;
+    let mut acc =
+        ReportAccumulator::for_spec(spec)?.with_telemetry(executor.telemetry().recorder());
     if spec.eval.enabled {
         let fingerprint = spec_fingerprint(spec);
         match spill {

@@ -117,6 +117,12 @@ impl DosDetector {
         self.kernels
     }
 
+    /// Attaches a telemetry recorder: the model times every layer's forward
+    /// and backward pass into `nn.detector.*` histograms.
+    pub fn set_telemetry(&mut self, recorder: dl2fence_telemetry::Recorder) {
+        self.model.set_telemetry(recorder, "nn.detector");
+    }
+
     /// Total trainable parameters of the model (used by the hardware model).
     pub fn parameter_count(&self) -> usize {
         self.model.param_count()

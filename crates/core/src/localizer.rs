@@ -123,6 +123,12 @@ impl DosLocalizer {
         self.conv_layers
     }
 
+    /// Attaches a telemetry recorder: the model times every layer's forward
+    /// and backward pass into `nn.localizer.*` histograms.
+    pub fn set_telemetry(&mut self, recorder: dl2fence_telemetry::Recorder) {
+        self.model.set_telemetry(recorder, "nn.localizer");
+    }
+
     /// Total trainable parameters (used by the hardware model).
     pub fn parameter_count(&self) -> usize {
         self.model.param_count()

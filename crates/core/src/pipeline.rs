@@ -6,6 +6,7 @@ use crate::input::sample_frames;
 use crate::localizer::DosLocalizer;
 use crate::tlm::TableLikeMethod;
 use crate::vce::VictimComplementingEnhancement;
+use dl2fence_telemetry::Recorder;
 use noc_monitor::{DirectionalFrames, FeatureKind, FrameSampler, LabeledSample};
 use noc_sim::{Network, NodeId};
 use serde::{Deserialize, Serialize};
@@ -116,6 +117,8 @@ pub struct Dl2Fence {
     fusion: MultiFrameFusion,
     vce: VictimComplementingEnhancement,
     tlm: TableLikeMethod,
+    /// Stage-timing recorder; disabled (free) by default.
+    telemetry: Recorder,
 }
 
 impl Dl2Fence {
@@ -130,7 +133,20 @@ impl Dl2Fence {
             vce: VictimComplementingEnhancement::new(config.rows, config.cols),
             tlm: TableLikeMethod::new(config.rows, config.cols),
             config,
+            telemetry: Recorder::default(),
         }
+    }
+
+    /// Attaches a telemetry recorder: [`Self::analyze_frames`] times the
+    /// detect/segment/fuse/localize stages into `stage.*` histograms,
+    /// [`Self::train`] times both model fits, and the CNN models time every
+    /// layer pass (`nn.detector.*` / `nn.localizer.*`). A disabled recorder
+    /// (the default) keeps everything on the untimed fast path, so outputs
+    /// are bit-identical with telemetry on or off.
+    pub fn set_telemetry(&mut self, recorder: Recorder) {
+        self.detector.set_telemetry(recorder.clone());
+        self.localizer.set_telemetry(recorder.clone());
+        self.telemetry = recorder;
     }
 
     /// The configuration this instance was built from.
@@ -155,18 +171,23 @@ impl Dl2Fence {
     /// Panics if `samples` is empty or its frames do not match the configured
     /// mesh size.
     pub fn train(&mut self, samples: &[LabeledSample]) -> FenceTrainingReport {
-        let detector = self.detector.train(
-            samples,
-            self.config.detection_feature,
-            self.config.detector_epochs,
-            self.config.seed,
-        );
-        let localizer = self.localizer.train(
-            samples,
-            self.config.localization_feature,
-            self.config.localizer_epochs,
-            self.config.seed.wrapping_add(1),
-        );
+        let rec = self.telemetry.clone();
+        let detector = rec.time("train.detector", || {
+            self.detector.train(
+                samples,
+                self.config.detection_feature,
+                self.config.detector_epochs,
+                self.config.seed,
+            )
+        });
+        let localizer = rec.time("train.localizer", || {
+            self.localizer.train(
+                samples,
+                self.config.localization_feature,
+                self.config.localizer_epochs,
+                self.config.seed.wrapping_add(1),
+            )
+        });
         FenceTrainingReport {
             detector,
             localizer,
@@ -180,7 +201,8 @@ impl Dl2Fence {
         detection_frames: &DirectionalFrames,
         localization_frames: &DirectionalFrames,
     ) -> FenceReport {
-        let detection = self.detector.detect(detection_frames);
+        let rec = self.telemetry.clone();
+        let detection = rec.time("stage.detect", || self.detector.detect(detection_frames));
         if !detection.detected {
             return FenceReport {
                 detection,
@@ -193,14 +215,21 @@ impl Dl2Fence {
         // Segment each directional frame (shared normalization) and fuse.
         let rows = localization_frames.rows();
         let cols = localization_frames.cols();
-        let segmentations = self.localizer.segment_bundle(localization_frames);
-        let fusion = self.fusion.fuse(&segmentations, rows, cols);
-        let victims = if self.config.vce_enabled {
-            self.vce.complete(&fusion)
-        } else {
-            fusion.victims.clone()
-        };
-        let attackers = self.tlm.localize(&fusion, &victims);
+        let segmentations = rec.time("stage.segment", || {
+            self.localizer.segment_bundle(localization_frames)
+        });
+        let fusion = rec.time("stage.fuse", || {
+            self.fusion.fuse(&segmentations, rows, cols)
+        });
+        let (victims, attackers) = rec.time("stage.localize", || {
+            let victims = if self.config.vce_enabled {
+                self.vce.complete(&fusion)
+            } else {
+                fusion.victims.clone()
+            };
+            let attackers = self.tlm.localize(&fusion, &victims);
+            (victims, attackers)
+        });
         FenceReport {
             detection,
             detected: true,
@@ -306,6 +335,40 @@ mod tests {
         assert!(
             detected_attacks * 2 >= total_attacks,
             "too few attacks detected: {detected_attacks}/{total_attacks}"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_stages_without_changing_outputs() {
+        use dl2fence_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let samples = collect_samples();
+        let config = FenceConfig::new(8, 8).with_epochs(4, 3).with_seed(2);
+
+        let mut plain = Dl2Fence::new(config);
+        plain.train(&samples);
+        let baseline: Vec<FenceReport> = samples.iter().map(|s| plain.analyze(s)).collect();
+
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let rec = tel.recorder();
+        let mut timed = Dl2Fence::new(config);
+        timed.set_telemetry(rec.clone());
+        timed.train(&samples);
+        let reports: Vec<FenceReport> = samples.iter().map(|s| timed.analyze(s)).collect();
+        rec.flush();
+
+        assert_eq!(baseline, reports, "telemetry must not perturb the pipeline");
+        let names: Vec<String> = sink.take().iter().map(|e| e.name().to_string()).collect();
+        for expected in ["stage.detect", "train.detector", "train.localizer"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected} in {names:?}"
+            );
+        }
+        assert!(
+            names.iter().any(|n| n.starts_with("nn.detector.fwd.")),
+            "per-layer detector timings missing"
         );
     }
 

@@ -14,6 +14,7 @@
 //! localized.
 
 use crate::pipeline::{Dl2Fence, FenceReport};
+use dl2fence_telemetry::Recorder;
 use noc_sim::NodeId;
 use noc_traffic::AttackScenario;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,8 @@ impl MonitoringLog {
 pub struct RuntimeMonitor {
     fence: Dl2Fence,
     sample_period: u64,
+    /// Round-timing recorder; disabled (free) by default.
+    telemetry: Recorder,
 }
 
 impl RuntimeMonitor {
@@ -90,7 +93,16 @@ impl RuntimeMonitor {
         RuntimeMonitor {
             fence,
             sample_period,
+            telemetry: Recorder::default(),
         }
+    }
+
+    /// Attaches a telemetry recorder: every monitoring round is wrapped in a
+    /// `runtime.round` span, and the wrapped fence times its pipeline stages
+    /// (see [`Dl2Fence::set_telemetry`]).
+    pub fn set_telemetry(&mut self, recorder: Recorder) {
+        self.fence.set_telemetry(recorder.clone());
+        self.telemetry = recorder;
     }
 
     /// The sampling period in cycles.
@@ -111,6 +123,7 @@ impl RuntimeMonitor {
     /// Runs exactly one monitoring round: advance the scenario by one
     /// sampling period, analyse the frames, reset the BOC window.
     pub fn round(&mut self, scenario: &mut AttackScenario) -> (MonitoringRound, FenceReport) {
+        let _span = self.telemetry.span("runtime.round");
         scenario.run(self.sample_period);
         let report = self.fence.monitor(scenario.network());
         scenario.network_mut().reset_boc();

@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::serialize::ModelExport;
 use crate::tensor::Tensor;
+use dl2fence_telemetry::Recorder;
 use std::fmt;
 
 /// An ordered stack of layers executed front to back.
@@ -24,12 +25,55 @@ use std::fmt;
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Per-layer timing recorder; disabled (free) by default.
+    telemetry: Recorder,
+    /// Prefix of the per-layer histogram names, e.g. `"nn.detector"`.
+    telemetry_prefix: String,
+    /// Precomputed histogram names (`<prefix>.fwd.<i>.<layer>`), rebuilt
+    /// lazily whenever the layer count changes — `forward`/`backward` must
+    /// not allocate name strings per call.
+    fwd_names: Vec<String>,
+    bwd_names: Vec<String>,
 }
 
 impl Sequential {
     /// Creates an empty model.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
+    }
+
+    /// Attaches a telemetry recorder: every layer's `forward` and `backward`
+    /// is timed into histograms named `<prefix>.fwd.<i>.<layer>` and
+    /// `<prefix>.bwd.<i>.<layer>`. A disabled recorder (the default) keeps
+    /// both passes on the untimed fast path.
+    pub fn set_telemetry(&mut self, recorder: Recorder, prefix: &str) {
+        self.telemetry = recorder;
+        self.telemetry_prefix = prefix.to_string();
+        self.fwd_names.clear();
+        self.bwd_names.clear();
+    }
+
+    fn refresh_layer_names(&mut self) {
+        if self.fwd_names.len() == self.layers.len() {
+            return;
+        }
+        let prefix = if self.telemetry_prefix.is_empty() {
+            "nn"
+        } else {
+            &self.telemetry_prefix
+        };
+        self.fwd_names = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("{prefix}.fwd.{i}.{}", l.name()))
+            .collect();
+        self.bwd_names = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("{prefix}.bwd.{i}.{}", l.name()))
+            .collect();
     }
 
     /// Appends a layer, builder-style.
@@ -61,9 +105,18 @@ impl Sequential {
 
     /// Runs the model forward, caching intermediate state for `backward`.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        if !self.telemetry.is_enabled() {
+            let mut x = input.clone();
+            for layer in &mut self.layers {
+                x = layer.forward(&x);
+            }
+            return x;
+        }
+        self.refresh_layer_names();
+        let rec = self.telemetry.clone();
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x);
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            x = rec.time(&self.fwd_names[i], || layer.forward(&x));
         }
         x
     }
@@ -75,9 +128,19 @@ impl Sequential {
     ///
     /// Panics if called before [`Sequential::forward`].
     pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        if !self.telemetry.is_enabled() {
+            let mut g = grad_output.clone();
+            for layer in self.layers.iter_mut().rev() {
+                g = layer.backward(&g);
+            }
+            return g;
+        }
+        self.refresh_layer_names();
+        let rec = self.telemetry.clone();
         let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let last = self.layers.len().saturating_sub(1);
+        for (back, layer) in self.layers.iter_mut().rev().enumerate() {
+            g = rec.time(&self.bwd_names[last - back], || layer.backward(&g));
         }
         g
     }
@@ -197,6 +260,31 @@ mod tests {
         assert!(s.contains("Conv2d"));
         assert!(s.contains("ReLU"));
         assert!(s.contains("total params"));
+    }
+
+    #[test]
+    fn telemetry_times_every_layer_pass() {
+        use dl2fence_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let rec = tel.recorder();
+        let mut m = Sequential::new()
+            .push(Dense::new(3, 2, 0))
+            .push(Sigmoid::new());
+        m.set_telemetry(rec.clone(), "nn.test");
+        let y = m.forward(&Tensor::ones(&[1, 3]));
+        m.backward(&Tensor::ones(y.shape()));
+        rec.flush();
+        let names: Vec<String> = sink.take().iter().map(|e| e.name().to_string()).collect();
+        for expected in [
+            "nn.test.fwd.0.Dense",
+            "nn.test.fwd.1.Sigmoid",
+            "nn.test.bwd.0.Dense",
+            "nn.test.bwd.1.Sigmoid",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
     }
 
     #[test]

@@ -1,0 +1,605 @@
+//! The telemetry event model and its JSONL wire format.
+//!
+//! Events are serialized one per line as flat JSON objects with a fixed
+//! field order, written by [`crate::JsonlSink`] and read back by
+//! [`Event::parse`]. The format is hand-rolled (this crate is
+//! dependency-free) and restricted to what events need: string values,
+//! `u64` numbers and arrays of `u64`. Every number is an integer count or a
+//! microsecond duration — no floats, so emit→parse→emit is byte-identical.
+
+use crate::hist::Histogram;
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number, unique per event log.
+    pub seq: u64,
+    /// Microseconds since the telemetry epoch (process start of recording).
+    pub t_us: u64,
+    /// Ordinal of the recorder (≈ thread) that produced the event.
+    pub worker: u64,
+    /// The payload.
+    pub data: EventData,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventData {
+    /// A completed scoped timer. `t_us` is the span's start time.
+    Span {
+        /// Span name, e.g. `"run"` or `"eval.train"`.
+        name: String,
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+        /// Name of the enclosing span on the same recorder, if any.
+        parent: Option<String>,
+        /// Optional association index (run index, mesh size, ...).
+        index: Option<u64>,
+    },
+    /// A monotonic counter increment (a delta, not an absolute value).
+    Counter {
+        /// Counter name, e.g. `"executor.worker_panics"`.
+        name: String,
+        /// Increment since the counter's previous event.
+        delta: u64,
+        /// Optional association index (worker ordinal, run index, ...).
+        index: Option<u64>,
+    },
+    /// A latency histogram delta: the observations recorded under `name`
+    /// since the recorder's previous flush. Readers merge all `Hist` events
+    /// with the same name to recover the full distribution.
+    Hist {
+        /// Histogram name, e.g. `"stage.detect"`.
+        name: String,
+        /// Observations in this delta.
+        count: u64,
+        /// Sum of observations in microseconds.
+        sum_us: u64,
+        /// Maximum observation in microseconds.
+        max_us: u64,
+        /// Power-of-two bucket counts (see [`crate::hist::BUCKET_COUNT`]).
+        buckets: Vec<u64>,
+    },
+}
+
+impl Event {
+    /// The payload's name (span, counter or histogram name).
+    pub fn name(&self) -> &str {
+        match &self.data {
+            EventData::Span { name, .. }
+            | EventData::Counter { name, .. }
+            | EventData::Hist { name, .. } => name,
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn emit(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"seq\":");
+        push_u64(&mut s, self.seq);
+        s.push_str(",\"t_us\":");
+        push_u64(&mut s, self.t_us);
+        s.push_str(",\"worker\":");
+        push_u64(&mut s, self.worker);
+        match &self.data {
+            EventData::Span {
+                name,
+                dur_us,
+                parent,
+                index,
+            } => {
+                s.push_str(",\"kind\":\"span\",\"name\":");
+                push_str(&mut s, name);
+                s.push_str(",\"dur_us\":");
+                push_u64(&mut s, *dur_us);
+                if let Some(p) = parent {
+                    s.push_str(",\"parent\":");
+                    push_str(&mut s, p);
+                }
+                if let Some(i) = index {
+                    s.push_str(",\"index\":");
+                    push_u64(&mut s, *i);
+                }
+            }
+            EventData::Counter { name, delta, index } => {
+                s.push_str(",\"kind\":\"counter\",\"name\":");
+                push_str(&mut s, name);
+                s.push_str(",\"delta\":");
+                push_u64(&mut s, *delta);
+                if let Some(i) = index {
+                    s.push_str(",\"index\":");
+                    push_u64(&mut s, *i);
+                }
+            }
+            EventData::Hist {
+                name,
+                count,
+                sum_us,
+                max_us,
+                buckets,
+            } => {
+                s.push_str(",\"kind\":\"hist\",\"name\":");
+                push_str(&mut s, name);
+                s.push_str(",\"count\":");
+                push_u64(&mut s, *count);
+                s.push_str(",\"sum_us\":");
+                push_u64(&mut s, *sum_us);
+                s.push_str(",\"max_us\":");
+                push_u64(&mut s, *max_us);
+                s.push_str(",\"buckets\":[");
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    push_u64(&mut s, *b);
+                }
+                s.push(']');
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSON event line produced by [`Event::emit`].
+    ///
+    /// Field order is not significant on input; unknown fields are rejected
+    /// so schema drift is caught loudly rather than silently dropped.
+    pub fn parse(line: &str) -> Result<Event, ParseError> {
+        let fields = parse_object(line)?;
+        let mut seq = None;
+        let mut t_us = None;
+        let mut worker = None;
+        let mut kind = None;
+        let mut name = None;
+        let mut dur_us = None;
+        let mut parent = None;
+        let mut index = None;
+        let mut delta = None;
+        let mut count = None;
+        let mut sum_us = None;
+        let mut max_us = None;
+        let mut buckets = None;
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("seq", Value::Num(n)) => seq = Some(n),
+                ("t_us", Value::Num(n)) => t_us = Some(n),
+                ("worker", Value::Num(n)) => worker = Some(n),
+                ("kind", Value::Str(s)) => kind = Some(s),
+                ("name", Value::Str(s)) => name = Some(s),
+                ("dur_us", Value::Num(n)) => dur_us = Some(n),
+                ("parent", Value::Str(s)) => parent = Some(s),
+                ("index", Value::Num(n)) => index = Some(n),
+                ("delta", Value::Num(n)) => delta = Some(n),
+                ("count", Value::Num(n)) => count = Some(n),
+                ("sum_us", Value::Num(n)) => sum_us = Some(n),
+                ("max_us", Value::Num(n)) => max_us = Some(n),
+                ("buckets", Value::Arr(a)) => buckets = Some(a),
+                (k, _) => return Err(ParseError(format!("unexpected field `{k}`"))),
+            }
+        }
+        let seq = seq.ok_or_else(|| ParseError("missing `seq`".into()))?;
+        let t_us = t_us.ok_or_else(|| ParseError("missing `t_us`".into()))?;
+        let worker = worker.ok_or_else(|| ParseError("missing `worker`".into()))?;
+        let kind = kind.ok_or_else(|| ParseError("missing `kind`".into()))?;
+        let name = name.ok_or_else(|| ParseError("missing `name`".into()))?;
+        let data = match kind.as_str() {
+            "span" => EventData::Span {
+                name,
+                dur_us: dur_us.ok_or_else(|| ParseError("span missing `dur_us`".into()))?,
+                parent,
+                index,
+            },
+            "counter" => EventData::Counter {
+                name,
+                delta: delta.ok_or_else(|| ParseError("counter missing `delta`".into()))?,
+                index,
+            },
+            "hist" => EventData::Hist {
+                name,
+                count: count.ok_or_else(|| ParseError("hist missing `count`".into()))?,
+                sum_us: sum_us.ok_or_else(|| ParseError("hist missing `sum_us`".into()))?,
+                max_us: max_us.ok_or_else(|| ParseError("hist missing `max_us`".into()))?,
+                buckets: buckets.ok_or_else(|| ParseError("hist missing `buckets`".into()))?,
+            },
+            other => return Err(ParseError(format!("unknown kind `{other}`"))),
+        };
+        Ok(Event {
+            seq,
+            t_us,
+            worker,
+            data,
+        })
+    }
+
+    /// Builds a [`Histogram`] from a `Hist` payload; `None` for other kinds.
+    pub fn as_histogram(&self) -> Option<Histogram> {
+        match &self.data {
+            EventData::Hist {
+                count,
+                sum_us,
+                max_us,
+                buckets,
+                ..
+            } => Some(Histogram::from_parts(*count, *sum_us, *max_us, buckets)),
+            _ => None,
+        }
+    }
+}
+
+/// An event line that is not valid event JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid event line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn push_u64(s: &mut String, n: u64) {
+    use std::fmt::Write;
+    let _ = write!(s, "{n}");
+}
+
+fn push_str(s: &mut String, value: &str) {
+    s.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                s.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// The restricted value space of event JSON.
+enum Value {
+    Str(String),
+    Num(u64),
+    Arr(Vec<u64>),
+}
+
+/// A minimal cursor over the byte representation of one JSON line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, ParseError> {
+        let start = self.pos;
+        let mut n: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| ParseError(format!("number overflow at byte {start}")))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseError(format!("expected a number at byte {start}")));
+        }
+        Ok(n)
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| ParseError("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| ParseError("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        other => {
+                            return Err(ParseError(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at the byte we
+                    // just consumed; the input is a &str so it is valid UTF-8.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| ParseError("truncated UTF-8".into()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| ParseError("invalid UTF-8".into()))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| ParseError("truncated \\u escape".into()))?;
+            self.pos += 1;
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(ParseError("bad hex digit in \\u escape".into())),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.parse_hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // Surrogate pair: expect a following \uDCxx low surrogate.
+            self.expect(b'\\')?;
+            self.expect(b'u')?;
+            let lo = self.parse_hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(ParseError("unpaired surrogate".into()));
+            }
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| ParseError("invalid surrogate pair".into()))
+        } else {
+            char::from_u32(hi).ok_or_else(|| ParseError("invalid \\u escape".into()))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Vec<u64>, ParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.parse_u64()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(ParseError("expected `,` or `]` in array".into())),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => Ok(Value::Arr(self.parse_array()?)),
+            Some(b'0'..=b'9') => Ok(Value::Num(self.parse_u64()?)),
+            _ => Err(ParseError(format!("expected a value at byte {}", self.pos))),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first < 0xE0 {
+        2
+    } else if first < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, ParseError> {
+    let mut c = Cursor::new(line);
+    c.skip_ws();
+    c.expect(b'{')?;
+    let mut fields = Vec::new();
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.skip_ws();
+            let key = c.parse_string()?;
+            c.skip_ws();
+            c.expect(b':')?;
+            let value = c.parse_value()?;
+            fields.push((key, value));
+            c.skip_ws();
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b'}') => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => return Err(ParseError("expected `,` or `}` in object".into())),
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(ParseError(format!("trailing bytes at {}", c.pos)));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: &Event) {
+        let line = e.emit();
+        let back = Event::parse(&line).expect("parse");
+        assert_eq!(&back, e);
+        assert_eq!(back.emit(), line, "emit→parse→emit must be byte-stable");
+    }
+
+    #[test]
+    fn span_round_trip() {
+        round_trip(&Event {
+            seq: 7,
+            t_us: 123,
+            worker: 2,
+            data: EventData::Span {
+                name: "run".into(),
+                dur_us: 456,
+                parent: Some("campaign.execute".into()),
+                index: Some(9),
+            },
+        });
+        round_trip(&Event {
+            seq: 0,
+            t_us: 0,
+            worker: 0,
+            data: EventData::Span {
+                name: "stage.detect".into(),
+                dur_us: 0,
+                parent: None,
+                index: None,
+            },
+        });
+    }
+
+    #[test]
+    fn counter_and_hist_round_trip() {
+        round_trip(&Event {
+            seq: 1,
+            t_us: 2,
+            worker: 3,
+            data: EventData::Counter {
+                name: "executor.worker_panics".into(),
+                delta: 1,
+                index: Some(4),
+            },
+        });
+        round_trip(&Event {
+            seq: 99,
+            t_us: u64::MAX,
+            worker: 1,
+            data: EventData::Hist {
+                name: "worker.queue_wait".into(),
+                count: 3,
+                sum_us: 300,
+                max_us: 200,
+                buckets: vec![0, 1, 2],
+            },
+        });
+    }
+
+    #[test]
+    fn tricky_names_round_trip() {
+        for name in [
+            "a\"b",
+            "back\\slash",
+            "tab\there",
+            "nl\nthere",
+            "emoji🦀",
+            "nul\u{0000}",
+        ] {
+            round_trip(&Event {
+                seq: 1,
+                t_us: 1,
+                worker: 1,
+                data: EventData::Counter {
+                    name: name.to_string(),
+                    delta: 1,
+                    index: None,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Event::parse("").is_err());
+        assert!(Event::parse("{}").is_err());
+        assert!(Event::parse("{\"seq\":1").is_err());
+        assert!(Event::parse("{\"seq\":1,\"bogus\":2}").is_err());
+        assert!(Event::parse("not json at all").is_err());
+    }
+
+    #[test]
+    fn as_histogram_reconstructs() {
+        let e = Event {
+            seq: 1,
+            t_us: 1,
+            worker: 1,
+            data: EventData::Hist {
+                name: "h".into(),
+                count: 2,
+                sum_us: 6,
+                max_us: 4,
+                buckets: vec![0, 0, 1, 1],
+            },
+        };
+        let h = e.as_histogram().unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_us(), 4);
+    }
+}

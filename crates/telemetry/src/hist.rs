@@ -1,0 +1,254 @@
+//! Fixed-bucket latency histograms with power-of-two microsecond buckets.
+
+/// Number of buckets in every [`Histogram`].
+///
+/// Bucket `0` holds exact zeros; bucket `i > 0` holds durations in
+/// `[2^(i-1), 2^i)` microseconds. The last bucket is open-ended, which at 40
+/// buckets means "anything over ~2.3 minutes" — far beyond any latency this
+/// workspace measures.
+pub const BUCKET_COUNT: usize = 40;
+
+/// A fixed-bucket latency histogram over integer microseconds.
+///
+/// The bucket layout is fixed (see [`BUCKET_COUNT`]) so histograms recorded
+/// by different threads, processes or campaign shards merge exactly:
+/// bucket-wise addition loses nothing relative to recording into a single
+/// histogram. Quantiles are estimated by linear interpolation inside the
+/// containing bucket and clamped by the exact observed maximum.
+///
+/// # Examples
+///
+/// ```
+/// use dl2fence_telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for us in [100, 200, 300, 400, 1000] {
+///     h.record_us(us);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max_us(), 1000);
+/// assert!(h.p50_us() >= 128 && h.p50_us() <= 511);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+    buckets: [u64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index that holds a duration of `us` microseconds.
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        let bits = 64 - us.leading_zeros() as usize;
+        bits.min(BUCKET_COUNT - 1)
+    }
+}
+
+/// Inclusive `(low, high)` microsecond range covered by bucket `index`.
+fn bucket_range(index: usize) -> (u64, u64) {
+    if index == 0 {
+        (0, 0)
+    } else if index == BUCKET_COUNT - 1 {
+        (1u64 << (index - 1), u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            buckets: [0; BUCKET_COUNT],
+        }
+    }
+
+    /// Rebuilds a histogram from previously serialized parts.
+    ///
+    /// Buckets beyond [`BUCKET_COUNT`] are folded into the last bucket so
+    /// event logs stay readable even if the layout ever grows.
+    pub fn from_parts(count: u64, sum_us: u64, max_us: u64, buckets: &[u64]) -> Self {
+        let mut h = Histogram {
+            count,
+            sum_us,
+            max_us,
+            buckets: [0; BUCKET_COUNT],
+        };
+        for (i, &b) in buckets.iter().enumerate() {
+            h.buckets[i.min(BUCKET_COUNT - 1)] += b;
+        }
+        h
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+        self.buckets[bucket_index(us)] += 1;
+    }
+
+    /// Records a [`std::time::Duration`], saturating at `u64::MAX` µs.
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_us(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges another histogram into this one, bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The exact maximum observation in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in microseconds.
+    ///
+    /// The estimate interpolates linearly inside the containing bucket and is
+    /// clamped by the exact observed maximum, so `quantile_us(1.0)` equals
+    /// [`Histogram::max_us`].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= rank {
+                let (lo, _) = bucket_range(i);
+                // Cap the interpolation ceiling at the observed max: the true
+                // largest sample in any bucket can never exceed it.
+                let hi = bucket_range(i).1.min(self.max_us).max(lo);
+                let frac = (rank - cumulative) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).min(self.max_us);
+            }
+            cumulative += n;
+        }
+        self.max_us
+    }
+
+    /// The median estimate in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// The 90th-percentile estimate in microseconds.
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// The 99th-percentile estimate in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut h = Histogram::new();
+        for us in [10, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record_us(us);
+        }
+        assert!(h.p50_us() <= h.p90_us());
+        assert!(h.p90_us() <= h.p99_us());
+        assert!(h.p99_us() <= h.max_us());
+        assert_eq!(h.quantile_us(1.0), 5000);
+    }
+
+    #[test]
+    fn merge_equals_single_recording() {
+        let samples = [3u64, 17, 17, 250, 90000, 0, 1];
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record_us(s);
+            if i % 2 == 0 {
+                a.record_us(s)
+            } else {
+                b.record_us(s)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for us in [5, 5, 1024, 0] {
+            h.record_us(us);
+        }
+        let again = Histogram::from_parts(h.count(), h.sum_us(), h.max_us(), h.buckets());
+        assert_eq!(h, again);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Per-thread recorders: the cheap, lock-free front end of telemetry.
+
+use crate::event::{Event, EventData};
+use crate::hist::Histogram;
+use crate::Shared;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many pending span events accumulate before an automatic flush.
+const AUTO_FLUSH: usize = 128;
+
+/// A per-thread telemetry recorder.
+///
+/// Recorders batch events, histograms and counters locally behind a
+/// `RefCell` and only touch shared state (one mutex-guarded sink write) on
+/// [`Recorder::flush`], on drop, or when the local batch fills up. They are
+/// deliberately `!Send` (`Rc` inside): create one per thread via
+/// [`crate::Telemetry::recorder`], never move one across threads.
+///
+/// A disabled recorder (the default) is a true no-op: no clocks are read,
+/// nothing allocates.
+///
+/// # Examples
+///
+/// ```
+/// use dl2fence_telemetry::Recorder;
+///
+/// let rec = Recorder::default(); // disabled
+/// let value = rec.time("work", || 40 + 2); // no clock read, just runs
+/// assert_eq!(value, 42);
+/// ```
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Rc<RecorderInner>>);
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(inner) => write!(f, "Recorder(enabled, worker {})", inner.worker),
+            None => write!(f, "Recorder(disabled)"),
+        }
+    }
+}
+
+struct RecorderInner {
+    shared: Arc<Shared>,
+    /// Global recorder ordinal, stamped on every event this recorder emits.
+    worker: u64,
+    state: RefCell<RecState>,
+}
+
+#[derive(Default)]
+struct RecState {
+    /// Completed span events waiting for the next flush.
+    pending: Vec<Event>,
+    /// Names of the currently open spans, innermost last.
+    stack: Vec<(String, Option<u64>, u64)>,
+    /// Histogram deltas since the last flush. Linear scan: instrumented
+    /// name cardinality is tiny (tens at most).
+    hists: Vec<(String, Histogram)>,
+    /// Counter deltas since the last flush.
+    counters: Vec<(String, Option<u64>, u64)>,
+}
+
+impl Recorder {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        let worker = shared.next_recorder();
+        Recorder(Some(Rc::new(RecorderInner {
+            shared,
+            worker,
+            state: RefCell::new(RecState::default()),
+        })))
+    }
+
+    /// `true` if this recorder actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a scoped span; the span event is emitted when the returned
+    /// guard drops. Nested spans record their parent's name.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_impl(name, None)
+    }
+
+    /// Opens a scoped span tagged with an association index (run index,
+    /// mesh size, ...).
+    pub fn span_indexed(&self, name: &str, index: u64) -> SpanGuard {
+        self.span_impl(name, Some(index))
+    }
+
+    fn span_impl(&self, name: &str, index: Option<u64>) -> SpanGuard {
+        let Some(inner) = &self.0 else {
+            return SpanGuard(None);
+        };
+        let start = Instant::now();
+        let t_us = inner.shared.now_us(start);
+        inner
+            .state
+            .borrow_mut()
+            .stack
+            .push((name.to_string(), index, t_us));
+        SpanGuard(Some(SpanActive {
+            inner: Rc::clone(inner),
+            start,
+        }))
+    }
+
+    /// Times `f` and records the duration into the `name` histogram.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let Some(_) = &self.0 else { return f() };
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Records one duration observation into the `name` histogram.
+    pub fn record(&self, name: &str, d: Duration) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.borrow_mut();
+            hist_entry(&mut state.hists, name).record(d);
+        }
+    }
+
+    /// Records one duration observation in microseconds.
+    pub fn record_us(&self, name: &str, us: u64) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.borrow_mut();
+            hist_entry(&mut state.hists, name).record_us(us);
+        }
+    }
+
+    /// Increments the `name` counter by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.add_impl(name, None, delta);
+    }
+
+    /// Increments the `name` counter tagged with an association index.
+    pub fn add_indexed(&self, name: &str, index: u64, delta: u64) {
+        self.add_impl(name, Some(index), delta);
+    }
+
+    fn add_impl(&self, name: &str, index: Option<u64>, delta: u64) {
+        let Some(inner) = &self.0 else { return };
+        let mut state = inner.state.borrow_mut();
+        if let Some((_, _, v)) = state
+            .counters
+            .iter_mut()
+            .find(|(n, i, _)| n == name && *i == index)
+        {
+            *v += delta;
+        } else {
+            state.counters.push((name.to_string(), index, delta));
+        }
+    }
+
+    /// Flushes all pending spans plus the histogram/counter deltas
+    /// accumulated since the previous flush.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            inner.flush(true);
+        }
+    }
+}
+
+impl Drop for RecorderInner {
+    fn drop(&mut self) {
+        self.flush(true);
+    }
+}
+
+impl RecorderInner {
+    /// Drains local state into the shared sink. `with_deltas` also emits
+    /// histogram and counter delta events (auto-flushes of a full span
+    /// buffer keep deltas local to bound event volume).
+    fn flush(&self, with_deltas: bool) {
+        let mut batch = {
+            let mut state = self.state.borrow_mut();
+            let mut batch = std::mem::take(&mut state.pending);
+            if with_deltas {
+                let now_us = self.shared.now_us(Instant::now());
+                for (name, h) in state.hists.drain(..) {
+                    if h.is_empty() {
+                        continue;
+                    }
+                    batch.push(Event {
+                        seq: 0,
+                        t_us: now_us,
+                        worker: self.worker,
+                        data: EventData::Hist {
+                            name,
+                            count: h.count(),
+                            sum_us: h.sum_us(),
+                            max_us: h.max_us(),
+                            buckets: trim_buckets(h.buckets()),
+                        },
+                    });
+                }
+                for (name, index, delta) in state.counters.drain(..) {
+                    if delta == 0 {
+                        continue;
+                    }
+                    batch.push(Event {
+                        seq: 0,
+                        t_us: now_us,
+                        worker: self.worker,
+                        data: EventData::Counter { name, delta, index },
+                    });
+                }
+            }
+            batch
+        };
+        if batch.is_empty() {
+            return;
+        }
+        self.shared.submit(&mut batch);
+    }
+}
+
+/// Drops trailing zero buckets so event lines stay short.
+fn trim_buckets(buckets: &[u64]) -> Vec<u64> {
+    let last = buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+    buckets[..last].to_vec()
+}
+
+fn hist_entry<'a>(hists: &'a mut Vec<(String, Histogram)>, name: &str) -> &'a mut Histogram {
+    if let Some(i) = hists.iter().position(|(n, _)| n == name) {
+        &mut hists[i].1
+    } else {
+        hists.push((name.to_string(), Histogram::new()));
+        &mut hists.last_mut().expect("just pushed").1
+    }
+}
+
+/// RAII guard for an open span; emits the span event on drop.
+#[must_use = "a span measures the scope it lives in"]
+pub struct SpanGuard(Option<SpanActive>);
+
+struct SpanActive {
+    inner: Rc<RecorderInner>,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let dur_us = u64::try_from(active.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let needs_flush = {
+            let mut state = active.inner.state.borrow_mut();
+            let (name, index, t_us) = state
+                .stack
+                .pop()
+                .expect("span stack underflow: guards dropped out of order");
+            let parent = state.stack.last().map(|(n, _, _)| n.clone());
+            state.pending.push(Event {
+                seq: 0,
+                t_us,
+                worker: active.inner.worker,
+                data: EventData::Span {
+                    name,
+                    dur_us,
+                    parent,
+                    index,
+                },
+            });
+            state.pending.len() >= AUTO_FLUSH
+        };
+        if needs_flush {
+            active.inner.flush(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemorySink, Telemetry};
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::default();
+        assert!(!rec.is_enabled());
+        let _s = rec.span("x");
+        rec.record_us("h", 5);
+        rec.add("c", 1);
+        rec.flush();
+        assert_eq!(rec.time("t", || 7), 7);
+    }
+
+    #[test]
+    fn spans_record_parent_and_index() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let rec = tel.recorder();
+        {
+            let _outer = rec.span("outer");
+            let _inner = rec.span_indexed("inner", 3);
+        }
+        rec.flush();
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        // Inner span finishes (and is recorded) first.
+        match &events[0].data {
+            EventData::Span {
+                name,
+                parent,
+                index,
+                ..
+            } => {
+                assert_eq!(name, "inner");
+                assert_eq!(parent.as_deref(), Some("outer"));
+                assert_eq!(*index, Some(3));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        match &events[1].data {
+            EventData::Span { name, parent, .. } => {
+                assert_eq!(name, "outer");
+                assert!(parent.is_none());
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        // Sequence numbers are unique and increasing within the batch.
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn hist_and_counter_deltas_reset_after_flush() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let rec = tel.recorder();
+        rec.record_us("lat", 10);
+        rec.record_us("lat", 20);
+        rec.add_indexed("jobs", 0, 2);
+        rec.flush();
+        rec.record_us("lat", 30);
+        rec.flush();
+        let events = sink.take();
+        let hists: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.data {
+                EventData::Hist { count, .. } => Some(*count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hists, vec![2, 1], "deltas, not cumulative totals");
+        let total: u64 = events
+            .iter()
+            .filter_map(|e| match &e.data {
+                EventData::Counter { delta, .. } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn drop_flushes_outstanding_state() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        {
+            let rec = tel.recorder();
+            rec.add("dropped", 1);
+        }
+        assert_eq!(sink.take().len(), 1);
+    }
+
+    #[test]
+    fn auto_flush_bounds_pending_spans() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let rec = tel.recorder();
+        for _ in 0..AUTO_FLUSH {
+            let _s = rec.span("tick");
+        }
+        // The batch filled up and went to the sink without an explicit flush.
+        assert_eq!(sink.take().len(), AUTO_FLUSH);
+    }
+}

@@ -1,0 +1,89 @@
+//! Event sinks: where flushed telemetry batches go.
+
+use crate::event::Event;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Destination for flushed telemetry events.
+///
+/// Implementations receive whole recorder batches; `events` is drained by
+/// the call (recorders reuse the buffer). A sink must tolerate concurrent
+/// calls from many threads.
+pub trait TelemetrySink: Send + Sync {
+    /// Consumes one batch of events.
+    fn append(&self, events: &mut Vec<Event>);
+}
+
+/// A sink that appends events to a JSONL file, one event per line.
+///
+/// Each batch is serialized into a single buffer and written with one
+/// `write_all` + `flush` under a mutex, so an interrupted process tears at
+/// most the final batch — exactly the torn-tail shape the campaign log
+/// scanner already heals.
+pub struct JsonlSink {
+    file: Mutex<File>,
+}
+
+impl JsonlSink {
+    /// Creates (or truncates) `path` and returns a sink writing to it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            file: Mutex::new(File::create(path)?),
+        })
+    }
+
+    /// Opens `path` for appending (creating it if missing).
+    pub fn append_to(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            file: Mutex::new(OpenOptions::new().create(true).append(true).open(path)?),
+        })
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn append(&self, events: &mut Vec<Event>) {
+        let mut buf = String::with_capacity(events.len() * 96);
+        for e in events.drain(..) {
+            buf.push_str(&e.emit());
+            buf.push('\n');
+        }
+        let mut file = self.file.lock().expect("telemetry sink poisoned");
+        // Telemetry is best-effort: a full disk must not kill the campaign.
+        let _ = file.write_all(buf.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+/// An in-memory sink for tests and the overhead guard.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of everything captured so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Drains and returns everything captured so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn append(&self, events: &mut Vec<Event>) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .append(events);
+    }
+}
