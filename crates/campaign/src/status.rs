@@ -176,6 +176,12 @@ pub fn human_bytes(bytes: u64) -> String {
         value /= 1024.0;
         unit += 1;
     }
+    // Values just under a unit boundary (e.g. 1 MiB − 1 byte ≈ 1023.9995 KiB)
+    // round to "1024.0" at one decimal; roll them into the next unit instead.
+    while format!("{value:.1}") == "1024.0" && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
     format!("{value:.1} {}", UNITS[unit])
 }
 
@@ -293,5 +299,15 @@ mod tests {
         assert_eq!(human_bytes(4 * 1024 + 205), "4.2 KiB");
         assert_eq!(human_bytes(1_782_579), "1.7 MiB");
         assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+
+    #[test]
+    fn human_bytes_rolls_over_at_unit_boundaries() {
+        // One byte short of a unit must not render as "1024.0 <unit>".
+        assert_eq!(human_bytes(1024 * 1024 - 1), "1.0 MiB");
+        assert_eq!(human_bytes(1024 * 1024 * 1024 - 1), "1.0 GiB");
+        // Values that legitimately round below the boundary keep their unit.
+        assert_eq!(human_bytes(1_048_474), "1023.9 KiB"); // 1023.9004 KiB
+        assert_eq!(human_bytes(1024 * 1024), "1.0 MiB");
     }
 }

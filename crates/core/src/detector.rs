@@ -175,20 +175,119 @@ impl DosDetector {
     }
 
     /// Runs the detector on one frame bundle.
+    ///
+    /// Uses the inference-only forward ([`Sequential::predict`]): no layer
+    /// caches its input, so runtime monitoring does not pay training-path
+    /// allocations.
     pub fn detect(&mut self, frames: &DirectionalFrames) -> DetectionResult {
-        let input = frames_to_detector_input(frames);
-        let batched = input.reshape(&[1, 4, frames.rows(), frames.cols()]);
-        let output = self.model.forward(&batched);
-        let probability = output.data()[0];
-        DetectionResult {
-            probability,
-            detected: probability > self.threshold,
-        }
+        self.detect_batch(&[frames])[0]
+    }
+
+    /// Runs the detector on a whole batch of frame bundles with **one**
+    /// model invocation: the bundles are stacked into a `[n, 4, h, w]`
+    /// input and pushed through the batched GEMM kernels. Per-bundle results
+    /// are bit-identical to calling [`DosDetector::detect`] one bundle at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bundles` is empty or the frame shapes disagree.
+    pub fn detect_batch(&mut self, bundles: &[&DirectionalFrames]) -> Vec<DetectionResult> {
+        assert!(
+            !bundles.is_empty(),
+            "detect_batch needs at least one bundle"
+        );
+        let inputs: Vec<Tensor> = bundles
+            .iter()
+            .map(|b| frames_to_detector_input(b))
+            .collect();
+        let input_refs: Vec<&Tensor> = inputs.iter().collect();
+        let batched = Tensor::stack(&input_refs);
+        let output = self.model.predict(&batched);
+        output
+            .data()
+            .iter()
+            .map(|&probability| DetectionResult {
+                probability,
+                detected: probability > self.threshold,
+            })
+            .collect()
     }
 
     /// Exports the trained weights for storage.
     pub fn export(&self) -> ModelExport {
         self.model.export()
+    }
+
+    /// Builds the fused int8 deployment form of this detector (accelerator
+    /// precision; see [`QuantizedDetector`]).
+    pub fn quantize(&self) -> QuantizedDetector {
+        QuantizedDetector {
+            model: QuantizedModel::from_model(&self.model),
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// The int8 deployment form of [`DosDetector`]: symmetric int8 weights, i32
+/// accumulation and fused dequant+bias+ReLU epilogues — the execution model
+/// whose accuracy budget `specs/ablation_quantization.toml` fixes. Outputs
+/// are *not* bit-identical to the f32 detector; decisions must agree within
+/// the ablation's envelope (enforced by the parity tests).
+#[derive(Clone)]
+pub struct QuantizedDetector {
+    model: QuantizedModel,
+    threshold: f32,
+}
+
+impl QuantizedDetector {
+    /// Attaches a telemetry recorder emitting `nn.qdetector.*` per-layer
+    /// forward timings.
+    pub fn set_telemetry(&mut self, recorder: dl2fence_telemetry::Recorder) {
+        self.model.set_telemetry(recorder, "nn.qdetector");
+    }
+
+    /// Runs the int8 detector on one frame bundle.
+    pub fn detect(&mut self, frames: &DirectionalFrames) -> DetectionResult {
+        self.detect_batch(&[frames])[0]
+    }
+
+    /// Runs the int8 detector on a whole batch of frame bundles with one
+    /// fused int8 model invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bundles` is empty or the frame shapes disagree.
+    pub fn detect_batch(&mut self, bundles: &[&DirectionalFrames]) -> Vec<DetectionResult> {
+        assert!(
+            !bundles.is_empty(),
+            "detect_batch needs at least one bundle"
+        );
+        let inputs: Vec<Tensor> = bundles
+            .iter()
+            .map(|b| frames_to_detector_input(b))
+            .collect();
+        let input_refs: Vec<&Tensor> = inputs.iter().collect();
+        let output = self.model.predict(&Tensor::stack(&input_refs));
+        output
+            .data()
+            .iter()
+            .map(|&probability| DetectionResult {
+                probability,
+                detected: probability > self.threshold,
+            })
+            .collect()
+    }
+
+    /// Exports the fused int8 weights (the compact deployment artifact).
+    pub fn export(&self) -> tinycnn::serialize::QuantizedModelExport {
+        self.model.export()
+    }
+}
+
+impl std::fmt::Debug for QuantizedDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QuantizedDetector({} fused layers)", self.model.len())
     }
 }
 
@@ -285,6 +384,63 @@ mod tests {
         let mut restored = DosDetector::from_export(8, 8, export);
         let after = restored.detect(&samples[0].vco).probability;
         assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_detection_is_bitwise_identical_to_per_sample() {
+        let samples = small_samples();
+        let mut detector = DosDetector::new(8, 8, 4);
+        let bundles: Vec<&DirectionalFrames> = samples.iter().map(|s| &s.vco).collect();
+        let batched = detector.detect_batch(&bundles);
+        assert_eq!(batched.len(), samples.len());
+        for (s, batch_result) in samples.iter().zip(&batched) {
+            let single = detector.detect(&s.vco);
+            assert_eq!(
+                single.probability.to_bits(),
+                batch_result.probability.to_bits(),
+                "batched probability drifted from per-sample inference"
+            );
+            assert_eq!(single.detected, batch_result.detected);
+        }
+    }
+
+    #[test]
+    fn quantized_detector_decisions_track_f32() {
+        let samples = small_samples();
+        let mut detector = DosDetector::new(8, 8, 7);
+        detector.train(&samples, FeatureKind::Vco, 40, 3);
+        let mut quantized = detector.quantize();
+        let bundles: Vec<&DirectionalFrames> = samples.iter().map(|s| &s.vco).collect();
+        let f32_results = detector.detect_batch(&bundles);
+        let i8_results = quantized.detect_batch(&bundles);
+        let mut agreements = 0;
+        for (f, q) in f32_results.iter().zip(&i8_results) {
+            assert!(
+                (f.probability - q.probability).abs() < 0.25,
+                "int8 probability drifted: {} vs {}",
+                f.probability,
+                q.probability
+            );
+            if f.detected == q.detected {
+                agreements += 1;
+            }
+        }
+        // The ablation budget: int8 decisions match f32 on all but
+        // knife-edge samples.
+        assert!(
+            agreements as f64 / f32_results.len() as f64 >= 0.9,
+            "int8 decisions diverged: {agreements}/{}",
+            f32_results.len()
+        );
+    }
+
+    #[test]
+    fn quantized_export_round_trips() {
+        let detector = DosDetector::new(8, 8, 2);
+        let q = detector.quantize();
+        let json = q.export().to_json().unwrap();
+        let restored = tinycnn::serialize::QuantizedModelExport::from_json(&json).unwrap();
+        assert_eq!(restored.layers.len(), q.export().layers.len());
     }
 
     #[test]

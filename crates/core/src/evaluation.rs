@@ -121,10 +121,14 @@ fn record_localization(
 
 /// Evaluates a trained [`Dl2Fence`] instance on a set of labeled samples,
 /// grouping the metrics by benchmark.
+///
+/// Detector inference runs batched ([`Dl2Fence::analyze_batch`]), which is
+/// bit-identical to per-sample analysis, so reports match the per-sample
+/// path byte for byte.
 pub fn evaluate(fence: &mut Dl2Fence, samples: &[LabeledSample]) -> EvaluationReport {
     let mut report = EvaluationReport::default();
-    for sample in samples {
-        let analysed = fence.analyze(sample);
+    let analysed_reports = fence.analyze_batch(samples);
+    for (sample, analysed) in samples.iter().zip(analysed_reports) {
         let idx = match report
             .benchmarks
             .iter()

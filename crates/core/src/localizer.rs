@@ -199,24 +199,35 @@ impl DosLocalizer {
     /// Segments one directional frame in isolation (normalizing the frame on
     /// its own), returning the per-pixel route probability map as a
     /// `rows × cols` buffer. Prefer [`DosLocalizer::segment_bundle`] when the
-    /// whole four-direction bundle is available.
+    /// whole four-direction bundle is available. Runs on the inference-only
+    /// forward (no gradient caches).
     pub fn segment(&mut self, frame: &FeatureFrame) -> Vec<f32> {
         let input = frame_to_tensor(frame).reshape(&[1, 1, frame.rows(), frame.cols()]);
-        let output = self.model.forward(&input);
+        let output = self.model.predict(&input);
         output.into_vec()
     }
 
     /// Segments all four directional frames of a bundle using a shared
     /// normalization scale (matching how the model was trained). Returns the
     /// per-direction probability maps in E, N, W, S order.
+    ///
+    /// The four frames run as **one** batched `[4, 1, h, w]` model
+    /// invocation; per-direction maps are bit-identical to segmenting each
+    /// frame separately.
     pub fn segment_bundle(&mut self, frames: &DirectionalFrames) -> [Vec<f32>; 4] {
         let inputs = frames_to_localizer_inputs(frames);
-        let mut out: [Vec<f32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for (i, input) in inputs.iter().enumerate() {
-            let batched = input.reshape(&[1, 1, frames.rows(), frames.cols()]);
-            out[i] = self.model.forward(&batched).into_vec();
-        }
-        out
+        let input_refs: Vec<&Tensor> = inputs.iter().collect();
+        let (h, w) = (frames.rows(), frames.cols());
+        let batched = Tensor::stack(&input_refs).reshape(&[4, 1, h, w]);
+        let output = self.model.predict(&batched);
+        let data = output.data();
+        let plane = h * w;
+        [
+            data[..plane].to_vec(),
+            data[plane..2 * plane].to_vec(),
+            data[2 * plane..3 * plane].to_vec(),
+            data[3 * plane..].to_vec(),
+        ]
     }
 
     /// The hard Dice coefficient between a segmentation of `frame` and a
@@ -303,6 +314,26 @@ mod tests {
         let truth = Tensor::from_vec(mask, &[64]);
         let dice = dice_coefficient(&pred, &truth, 0.5);
         assert!(dice > 0.5, "trained dice too low: {dice}");
+    }
+
+    #[test]
+    fn batched_bundle_segmentation_is_bitwise_identical_to_per_frame() {
+        let samples = samples_with_row_attack();
+        let mut loc = DosLocalizer::new(8, 8, 6);
+        let frames = &samples[0].boc;
+        let batched = loc.segment_bundle(frames);
+        // Reproduce the pre-batching behaviour: one [1,1,h,w] forward per
+        // direction over the same shared-scale inputs.
+        let inputs = crate::input::frames_to_localizer_inputs(frames);
+        for (i, input) in inputs.iter().enumerate() {
+            let single = loc
+                .model
+                .predict(&input.reshape(&[1, 1, frames.rows(), frames.cols()]));
+            assert_eq!(batched[i].len(), single.data().len());
+            for (a, b) in batched[i].iter().zip(single.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "direction {i} drifted");
+            }
+        }
     }
 
     #[test]

@@ -203,6 +203,16 @@ impl Dl2Fence {
     ) -> FenceReport {
         let rec = self.telemetry.clone();
         let detection = rec.time("stage.detect", || self.detector.detect(detection_frames));
+        self.finish_report(detection, localization_frames)
+    }
+
+    /// Runs the post-detection stages (segment → fuse → localize) for one
+    /// window, or short-circuits when nothing was detected.
+    fn finish_report(
+        &mut self,
+        detection: DetectionResult,
+        localization_frames: &DirectionalFrames,
+    ) -> FenceReport {
         if !detection.detected {
             return FenceReport {
                 detection,
@@ -212,6 +222,7 @@ impl Dl2Fence {
                 fusion: None,
             };
         }
+        let rec = self.telemetry.clone();
         // Segment each directional frame (shared normalization) and fuse.
         let rows = localization_frames.rows();
         let cols = localization_frames.cols();
@@ -244,6 +255,38 @@ impl Dl2Fence {
         let det = sample_frames(sample, self.config.detection_feature);
         let loc = sample_frames(sample, self.config.localization_feature);
         self.analyze_frames(det, loc)
+    }
+
+    /// Detection frames per batched-inference chunk in
+    /// [`Self::analyze_batch`]. Keeps the stacked input tensor bounded
+    /// (a chunk of an 8×8 mesh is ~64 KiB) while amortizing the per-layer
+    /// dispatch over many windows.
+    pub const DETECT_BATCH: usize = 64;
+
+    /// Analyses a set of labeled samples with **batched** detector inference:
+    /// detection frames are stacked in chunks of [`Self::DETECT_BATCH`] and
+    /// classified in one model invocation per chunk, then only the windows
+    /// that were flagged run the (much rarer) segment → fuse → localize tail.
+    ///
+    /// Reports are bit-identical to calling [`Self::analyze`] per sample —
+    /// every layer of the CNN treats batch elements independently — so
+    /// evaluation harnesses can batch freely without perturbing golden
+    /// outputs.
+    pub fn analyze_batch(&mut self, samples: &[LabeledSample]) -> Vec<FenceReport> {
+        let rec = self.telemetry.clone();
+        let mut reports = Vec::with_capacity(samples.len());
+        for chunk in samples.chunks(Self::DETECT_BATCH) {
+            let bundles: Vec<&DirectionalFrames> = chunk
+                .iter()
+                .map(|s| sample_frames(s, self.config.detection_feature))
+                .collect();
+            let detections = rec.time("stage.detect", || self.detector.detect_batch(&bundles));
+            for (sample, detection) in chunk.iter().zip(detections) {
+                let loc = sample_frames(sample, self.config.localization_feature);
+                reports.push(self.finish_report(detection, loc));
+            }
+        }
+        reports
     }
 
     /// Samples the live network and analyses the current monitoring window.
@@ -370,6 +413,24 @@ mod tests {
             names.iter().any(|n| n.starts_with("nn.detector.fwd.")),
             "per-layer detector timings missing"
         );
+    }
+
+    #[test]
+    fn analyze_batch_is_bit_identical_to_per_sample_analyze() {
+        let samples = collect_samples();
+        let mut fence = Dl2Fence::new(FenceConfig::new(8, 8).with_epochs(6, 4).with_seed(2));
+        fence.train(&samples);
+        let batched = fence.analyze_batch(&samples);
+        assert_eq!(batched.len(), samples.len());
+        for (sample, batched_report) in samples.iter().zip(&batched) {
+            let single = fence.analyze(sample);
+            assert_eq!(
+                single.detection.probability.to_bits(),
+                batched_report.detection.probability.to_bits(),
+                "batched detection probability drifted"
+            );
+            assert_eq!(&single, batched_report, "batched report diverged");
+        }
     }
 
     #[test]

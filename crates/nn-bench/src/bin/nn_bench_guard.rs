@@ -1,0 +1,92 @@
+//! CI throughput guard for the GEMM forward-path rework.
+//!
+//! Times three detector forward paths over the same 64-frame batch with the
+//! min-of-2 idiom (shed scheduler noise, keep the best run) and enforces:
+//!
+//! 1. **No f32 regression** — the batched GEMM path must not be slower than
+//!    the scalar seed kernels (5% wall-clock noise allowance).
+//! 2. **Int8 speedup** — the batched fused int8 path must reach at least
+//!    4× the scalar seed kernels' throughput.
+//!
+//! Exits non-zero with a diagnostic when either bound is violated.
+
+use dl2fence_nn_bench::{
+    detector_frames, detector_model, min_time, stack_frames, ScalarDetector, KERNELS,
+};
+use std::hint::black_box;
+use std::process::ExitCode;
+use tinycnn::QuantizedModel;
+
+/// Batch size of the headline claim (matches `Dl2Fence::DETECT_BATCH`).
+const BATCH: usize = 64;
+/// Forward passes per timed run — enough work for stable milliseconds.
+const ITERS: usize = 30;
+/// Wall-clock noise allowance on the "no slower" f32 bound.
+const F32_SLACK: f64 = 1.05;
+/// Required int8 speedup over the scalar seed kernels.
+const INT8_SPEEDUP: f64 = 4.0;
+
+fn main() -> ExitCode {
+    let frames = detector_frames(BATCH, 9);
+    let stacked = stack_frames(&frames);
+    let mut scalar = ScalarDetector::new(KERNELS, 21);
+    let mut model = detector_model(KERNELS, 21);
+    let mut quant = QuantizedModel::from_model(&model);
+
+    // The comparison is only meaningful if both f32 paths compute the same
+    // function: assert bitwise agreement before timing anything.
+    let singles = scalar.forward_many(&frames);
+    let batched = model.predict(&stacked);
+    for (i, (a, b)) in singles.iter().zip(batched.data()).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            eprintln!("guard fixtures diverged at frame {i}: scalar {a} vs batched {b}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let t_scalar = min_time(2, || {
+        for _ in 0..ITERS {
+            black_box(scalar.forward_many(&frames));
+        }
+    });
+    let t_f32 = min_time(2, || {
+        for _ in 0..ITERS {
+            black_box(model.predict(&stacked));
+        }
+    });
+    let t_int8 = min_time(2, || {
+        for _ in 0..ITERS {
+            black_box(quant.predict(&stacked));
+        }
+    });
+
+    let per_frame = |d: std::time::Duration| d.as_secs_f64() / (ITERS * BATCH) as f64 * 1e6;
+    println!(
+        "detector forward @ batch {BATCH}, min-of-2 ({ITERS} iters/run):\n\
+         scalar seed kernels : {:>9.3} µs/frame\n\
+         batched GEMM f32    : {:>9.3} µs/frame  ({:.2}x)\n\
+         batched fused int8  : {:>9.3} µs/frame  ({:.2}x)",
+        per_frame(t_scalar),
+        per_frame(t_f32),
+        t_scalar.as_secs_f64() / t_f32.as_secs_f64(),
+        per_frame(t_int8),
+        t_scalar.as_secs_f64() / t_int8.as_secs_f64(),
+    );
+
+    if t_f32.as_secs_f64() > t_scalar.as_secs_f64() * F32_SLACK {
+        eprintln!(
+            "FAIL: batched f32 is slower than the scalar seed kernels \
+             ({:.3} ms vs {:.3} ms, allowance {F32_SLACK}x)",
+            t_f32.as_secs_f64() * 1e3,
+            t_scalar.as_secs_f64() * 1e3,
+        );
+        return ExitCode::FAILURE;
+    }
+    let speedup = t_scalar.as_secs_f64() / t_int8.as_secs_f64();
+    if speedup < INT8_SPEEDUP {
+        eprintln!("FAIL: batched int8 speedup {speedup:.2}x is below the required {INT8_SPEEDUP}x");
+        return ExitCode::FAILURE;
+    }
+    println!("nn-bench guard passed: f32 no regression, int8 {speedup:.2}x >= {INT8_SPEEDUP}x");
+    ExitCode::SUCCESS
+}

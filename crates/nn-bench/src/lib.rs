@@ -1,0 +1,163 @@
+//! # dl2fence-nn-bench — forward-path micro-benchmarks
+//!
+//! Fixtures and timing helpers for benchmarking the `tinycnn` inference
+//! path at three tiers:
+//!
+//! 1. the **scalar seed kernels** ([`ScalarDetector`] — the original
+//!    per-sample, caching forward path preserved as
+//!    `Conv2d::forward_reference`),
+//! 2. the **blocked im2col/GEMM f32 path** (`Sequential::predict`, bit-
+//!    identical to tier 1 by the `crates/nn` parity suite), and
+//! 3. the **fused int8 path** (`QuantizedModel::predict`).
+//!
+//! The Criterion benches (`benches/layers.rs`, `benches/batched.rs`) report
+//! per-layer and whole-model numbers; the `nn_bench_guard` binary turns the
+//! two headline claims into a CI gate: batched f32 is no slower than the
+//! scalar seed kernels, and batched int8 reaches ≥4× their throughput at
+//! batch 64.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use tinycnn::prelude::*;
+
+/// Mesh side length the fixtures model (the paper's 8×8 NoC).
+pub const MESH: usize = 8;
+
+/// Kernel count of the paper's minimal detector.
+pub const KERNELS: usize = 8;
+
+/// Deterministic pseudo-random tensor in roughly `[-0.5, 0.5]` (xorshift).
+pub fn pseudo_tensor(seed: u64, shape: &[usize]) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA5);
+    let data = (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Flattened feature count after the detector's conv + pool stack.
+pub fn pooled_features(kernels: usize) -> usize {
+    kernels * ((MESH - 2) / 2) * ((MESH - 2) / 2)
+}
+
+/// The detector CNN as the **scalar seed kernels** left it: one frame per
+/// invocation, the naive scalar convolution (`forward_reference`) and the
+/// grad-caching `forward` path of every other layer — exactly the cost
+/// profile of inference before the GEMM rework.
+pub struct ScalarDetector {
+    conv: Conv2d,
+    relu: Relu,
+    pool: MaxPool2d,
+    flatten: Flatten,
+    dense: Dense,
+    sigmoid: Sigmoid,
+}
+
+impl ScalarDetector {
+    /// Builds the scalar stack. Seeds match [`detector_model`] so both paths
+    /// hold bit-identical weights.
+    pub fn new(kernels: usize, seed: u64) -> Self {
+        ScalarDetector {
+            conv: Conv2d::new(4, kernels, 3, Padding::Valid, seed),
+            relu: Relu::new(),
+            pool: MaxPool2d::new(2),
+            flatten: Flatten::new(),
+            dense: Dense::new(pooled_features(kernels), 1, seed + 1),
+            sigmoid: Sigmoid::new(),
+        }
+    }
+
+    /// Classifies one `[1, 4, MESH, MESH]` frame through the scalar path.
+    pub fn forward_one(&mut self, frame: &Tensor) -> f32 {
+        let x = self.conv.forward_reference(frame);
+        let x = self.relu.forward(&x);
+        let x = self.pool.forward(&x);
+        let x = self.flatten.forward(&x);
+        let x = self.dense.forward(&x);
+        let x = self.sigmoid.forward(&x);
+        x.data()[0]
+    }
+
+    /// Classifies every frame, one invocation each (the seed's batch story).
+    pub fn forward_many(&mut self, frames: &[Tensor]) -> Vec<f32> {
+        frames.iter().map(|f| self.forward_one(f)).collect()
+    }
+}
+
+/// The same detector as a [`Sequential`] (blocked GEMM forward path).
+/// Same seeds as [`ScalarDetector::new`] → bit-identical weights.
+pub fn detector_model(kernels: usize, seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(4, kernels, 3, Padding::Valid, seed))
+        .push(Relu::new())
+        .push(MaxPool2d::new(2))
+        .push(Flatten::new())
+        .push(Dense::new(pooled_features(kernels), 1, seed + 1))
+        .push(Sigmoid::new())
+}
+
+/// `batch` detector-shaped frames, each `[1, 4, MESH, MESH]`.
+pub fn detector_frames(batch: usize, seed: u64) -> Vec<Tensor> {
+    (0..batch)
+        .map(|i| pseudo_tensor(seed + i as u64, &[1, 4, MESH, MESH]))
+        .collect()
+}
+
+/// Stacks frames into one `[batch, 4, MESH, MESH]` model input.
+pub fn stack_frames(frames: &[Tensor]) -> Tensor {
+    let refs: Vec<&Tensor> = frames.iter().collect();
+    Tensor::stack(&refs).reshape(&[frames.len(), 4, MESH, MESH])
+}
+
+/// Best (minimum) wall-clock duration of `runs` timed executions of `f`
+/// after one warm-up pass — the min-of-N idiom the CI guards use to shed
+/// scheduler noise.
+pub fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one timed run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_gemm_fixtures_agree_bitwise() {
+        let frames = detector_frames(5, 3);
+        let mut scalar = ScalarDetector::new(KERNELS, 77);
+        let mut model = detector_model(KERNELS, 77);
+        let singles = scalar.forward_many(&frames);
+        let batched = model.predict(&stack_frames(&frames));
+        assert_eq!(batched.shape(), &[5, 1]);
+        for (a, b) in singles.iter().zip(batched.data()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "guard fixtures diverged: scalar {a} vs batched {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_time_returns_a_measured_duration() {
+        let mut n = 0u64;
+        let d = min_time(2, || n += 1);
+        assert!(n == 3, "warm-up + 2 timed runs expected, got {n}");
+        assert!(d <= Duration::from_secs(1));
+    }
+}

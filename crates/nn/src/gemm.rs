@@ -1,0 +1,442 @@
+//! im2col + cache-blocked GEMM convolution kernels.
+//!
+//! The scalar seed kernels walked the convolution with per-element
+//! [`crate::Tensor::get`] calls — every access paying index arithmetic and a
+//! bounds assert. This module lowers the convolution to the classic
+//! im2col/GEMM form instead: the input window around every output pixel is
+//! copied once into a row of a *column matrix* whose rows are contiguous in
+//! the reduction dimension, and the convolution becomes a dense matrix
+//! product between the `[out_channels, K]` weight matrix and the
+//! `[spatial, K]` column matrix, blocked so a tile of column rows stays
+//! resident in L1 while every output channel streams over it.
+//!
+//! **Bit-exactness contract:** the f32 kernel accumulates each output element
+//! in exactly the seed kernel's order — starting from the bias and adding
+//! `weight × input` products with the reduction index ascending in
+//! `(in_channel, ky, kx)` order, one accumulator, no FMA, no reassociation —
+//! so [`conv_forward_f32`] is bit-identical to the naive nested loops for
+//! every input. The blocked loop structure only reorders *independent*
+//! output elements, never the summation within one. This is what keeps the
+//! golden report corpus byte-identical while the hot path gets fast.
+//!
+//! The int8 kernel ([`conv_forward_i8`], [`dense_forward_i8`]) is the
+//! accelerator-precision variant: symmetric per-tensor quantization (scales
+//! defined by [`crate::quantize`]), `i32` accumulation, and a fused epilogue
+//! applying the dequantization scale, bias and an optional folded ReLU in one
+//! pass. It trades bit-exactness for integer arithmetic the compiler can
+//! vectorize, and is held to the quantization ablation's accuracy budget by
+//! the parity tests.
+
+/// Geometry of one convolution call, shared by the f32 and int8 kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height (unpadded).
+    pub height: usize,
+    /// Input width (unpadded).
+    pub width: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Symmetric zero padding applied to both spatial dimensions.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Output height.
+    pub fn out_height(&self) -> usize {
+        self.height + 2 * self.pad - self.kernel + 1
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        self.width + 2 * self.pad - self.kernel + 1
+    }
+
+    /// The GEMM reduction length: `in_channels * kernel * kernel`.
+    pub fn k_dim(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Output pixels per batch element.
+    pub fn spatial(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+}
+
+/// Column-rows per cache tile. 64 rows × a 3×3×8-channel reduction is ~18 KiB
+/// of f32 — comfortably inside L1/L2 while every output channel streams over
+/// the tile.
+const SPATIAL_TILE: usize = 64;
+
+/// Lowers one NCHW input into its column matrix: row `(b, y, x)` holds the
+/// padded `in_channels × kernel × kernel` window feeding output pixel
+/// `(y, x)` of batch element `b`, flattened in `(ic, ky, kx)` order — the
+/// seed kernel's accumulation order. Out-of-bounds (padding) taps are
+/// `T::default()` (zero).
+pub fn im2col<T: Copy + Default>(input: &[T], s: &ConvShape) -> Vec<T> {
+    let (oh, ow, k_dim) = (s.out_height(), s.out_width(), s.k_dim());
+    let mut col = vec![T::default(); s.batch * oh * ow * k_dim];
+    let plane = s.height * s.width;
+    for b in 0..s.batch {
+        let in_b = &input[b * s.in_channels * plane..][..s.in_channels * plane];
+        let col_b = &mut col[b * oh * ow * k_dim..][..oh * ow * k_dim];
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = &mut col_b[(y * ow + x) * k_dim..][..k_dim];
+                let mut j = 0;
+                for ic in 0..s.in_channels {
+                    let in_plane = &in_b[ic * plane..][..plane];
+                    for ky in 0..s.kernel {
+                        let iy = y + ky;
+                        // With padding, input row `iy - pad`; taps landing in
+                        // the pad border stay zero.
+                        if iy < s.pad || iy >= s.height + s.pad {
+                            j += s.kernel;
+                            continue;
+                        }
+                        let in_row = &in_plane[(iy - s.pad) * s.width..][..s.width];
+                        for kx in 0..s.kernel {
+                            let ix = x + kx;
+                            if ix >= s.pad && ix < s.width + s.pad {
+                                row[j] = in_row[ix - s.pad];
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// The cache-blocked f32 convolution: `weight` is the flat
+/// `[out_channels, in_channels, kernel, kernel]` tensor (row-major — already
+/// the `[out_channels, K]` GEMM operand), `bias` is `[out_channels]`, and the
+/// result is the flat `[batch, out_channels, oh, ow]` output.
+///
+/// Bit-identical to the scalar seed kernel (see the module docs).
+pub fn conv_forward_f32(input: &[f32], weight: &[f32], bias: &[f32], s: &ConvShape) -> Vec<f32> {
+    let col = im2col(input, s);
+    let (spatial, k_dim) = (s.spatial(), s.k_dim());
+    let mut out = vec![0.0f32; s.batch * s.out_channels * spatial];
+    for b in 0..s.batch {
+        let col_b = &col[b * spatial * k_dim..][..spatial * k_dim];
+        let out_b = &mut out[b * s.out_channels * spatial..][..s.out_channels * spatial];
+        for tile_start in (0..spatial).step_by(SPATIAL_TILE) {
+            let tile_end = (tile_start + SPATIAL_TILE).min(spatial);
+            for oc in 0..s.out_channels {
+                let w_row = &weight[oc * k_dim..][..k_dim];
+                let bias_oc = bias[oc];
+                let out_row = &mut out_b[oc * spatial..][..spatial];
+                for si in tile_start..tile_end {
+                    let col_row = &col_b[si * k_dim..][..k_dim];
+                    // Single accumulator, reduction index ascending: the
+                    // seed kernel's exact f32 operation sequence.
+                    let mut acc = bias_oc;
+                    for (&w, &v) in w_row.iter().zip(col_row) {
+                        acc += w * v;
+                    }
+                    out_row[si] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The fused int8 convolution: `col`-side input is quantized by the caller
+/// (symmetric, scale `input_scale`), weights are pre-quantized i8 with scale
+/// `weight_scale`. Accumulates in `i32` and applies the dequantization
+/// (`input_scale * weight_scale`), the f32 bias and — when `fuse_relu` — the
+/// folded ReLU in a single epilogue pass.
+pub fn conv_forward_i8(
+    input_q: &[i8],
+    input_scale: f32,
+    weight_q: &[i8],
+    weight_scale: f32,
+    bias: &[f32],
+    fuse_relu: bool,
+    s: &ConvShape,
+) -> Vec<f32> {
+    let col = im2col(input_q, s);
+    let (spatial, k_dim) = (s.spatial(), s.k_dim());
+    let dequant = input_scale * weight_scale;
+    let mut out = vec![0.0f32; s.batch * s.out_channels * spatial];
+    for b in 0..s.batch {
+        let col_b = &col[b * spatial * k_dim..][..spatial * k_dim];
+        let out_b = &mut out[b * s.out_channels * spatial..][..s.out_channels * spatial];
+        for tile_start in (0..spatial).step_by(SPATIAL_TILE) {
+            let tile_end = (tile_start + SPATIAL_TILE).min(spatial);
+            for oc in 0..s.out_channels {
+                let w_row = &weight_q[oc * k_dim..][..k_dim];
+                let bias_oc = bias[oc];
+                let out_row = &mut out_b[oc * spatial..][..spatial];
+                for si in tile_start..tile_end {
+                    let col_row = &col_b[si * k_dim..][..k_dim];
+                    let mut acc = 0i32;
+                    for (&w, &v) in w_row.iter().zip(col_row) {
+                        acc += w as i32 * v as i32;
+                    }
+                    let mut y = acc as f32 * dequant + bias_oc;
+                    if fuse_relu {
+                        y = y.max(0.0);
+                    }
+                    out_row[si] = y;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The fused int8 dense layer: `input_q` is the quantized `[batch, in]`
+/// activation matrix, `weight_q` the pre-transposed `[out, in]` quantized
+/// weights (transposed once at build time so every dot product runs over two
+/// contiguous rows). Same fused dequant + bias + optional-ReLU epilogue as
+/// the convolution.
+// A flat argument list keeps the kernel signature free of any struct the
+// conv path doesn't also need; the three trailing dims mirror ConvShape.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_forward_i8(
+    input_q: &[i8],
+    input_scale: f32,
+    weight_q: &[i8],
+    weight_scale: f32,
+    bias: &[f32],
+    fuse_relu: bool,
+    batch: usize,
+    in_features: usize,
+    out_features: usize,
+) -> Vec<f32> {
+    let dequant = input_scale * weight_scale;
+    let mut out = vec![0.0f32; batch * out_features];
+    for b in 0..batch {
+        let x_row = &input_q[b * in_features..][..in_features];
+        let out_row = &mut out[b * out_features..][..out_features];
+        for (o, slot) in out_row.iter_mut().enumerate() {
+            let w_row = &weight_q[o * in_features..][..in_features];
+            let mut acc = 0i32;
+            for (&w, &v) in w_row.iter().zip(x_row) {
+                acc += w as i32 * v as i32;
+            }
+            let mut y = acc as f32 * dequant + bias[o];
+            if fuse_relu {
+                y = y.max(0.0);
+            }
+            *slot = y;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scalar seed kernel, re-implemented here as the test oracle.
+    fn naive_conv(input: &[f32], weight: &[f32], bias: &[f32], s: &ConvShape) -> Vec<f32> {
+        let (oh, ow) = (s.out_height(), s.out_width());
+        let mut out = vec![0.0f32; s.batch * s.out_channels * oh * ow];
+        let get = |b: usize, ic: usize, y: isize, x: isize| -> f32 {
+            if y < 0 || x < 0 || y as usize >= s.height || x as usize >= s.width {
+                0.0
+            } else {
+                input[((b * s.in_channels + ic) * s.height + y as usize) * s.width + x as usize]
+            }
+        };
+        let mut i = 0;
+        for b in 0..s.batch {
+            for oc in 0..s.out_channels {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = bias[oc];
+                        for ic in 0..s.in_channels {
+                            for ky in 0..s.kernel {
+                                for kx in 0..s.kernel {
+                                    let w = weight[((oc * s.in_channels + ic) * s.kernel + ky)
+                                        * s.kernel
+                                        + kx];
+                                    acc += w * get(
+                                        b,
+                                        ic,
+                                        (y + ky) as isize - s.pad as isize,
+                                        (x + kx) as isize - s.pad as isize,
+                                    );
+                                }
+                            }
+                        }
+                        out[i] = acc;
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive_valid_padding() {
+        let s = ConvShape {
+            batch: 3,
+            in_channels: 2,
+            height: 7,
+            width: 9,
+            out_channels: 5,
+            kernel: 3,
+            pad: 0,
+        };
+        let input = pseudo(1, s.batch * s.in_channels * s.height * s.width);
+        let weight = pseudo(2, s.out_channels * s.k_dim());
+        let bias = pseudo(3, s.out_channels);
+        let fast = conv_forward_f32(&input, &weight, &bias, &s);
+        let slow = naive_conv(&input, &weight, &bias, &s);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive_same_padding() {
+        let s = ConvShape {
+            batch: 2,
+            in_channels: 3,
+            height: 5,
+            width: 6,
+            out_channels: 4,
+            kernel: 3,
+            pad: 1,
+        };
+        let input = pseudo(7, s.batch * s.in_channels * s.height * s.width);
+        let weight = pseudo(8, s.out_channels * s.k_dim());
+        let bias = pseudo(9, s.out_channels);
+        let fast = conv_forward_f32(&input, &weight, &bias, &s);
+        let slow = naive_conv(&input, &weight, &bias, &s);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn spatial_sizes_beyond_one_tile_still_match() {
+        // spatial = 14*13 = 182 > SPATIAL_TILE: exercises the tile seams.
+        let s = ConvShape {
+            batch: 1,
+            in_channels: 1,
+            height: 16,
+            width: 15,
+            out_channels: 2,
+            kernel: 3,
+            pad: 0,
+        };
+        let input = pseudo(11, s.height * s.width);
+        let weight = pseudo(12, s.out_channels * s.k_dim());
+        let bias = pseudo(13, s.out_channels);
+        let fast = conv_forward_f32(&input, &weight, &bias, &s);
+        let slow = naive_conv(&input, &weight, &bias, &s);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_conv_tracks_f32_within_quantization_error() {
+        let s = ConvShape {
+            batch: 2,
+            in_channels: 2,
+            height: 8,
+            width: 8,
+            out_channels: 3,
+            kernel: 3,
+            pad: 1,
+        };
+        let input = pseudo(21, s.batch * s.in_channels * s.height * s.width);
+        let weight = pseudo(22, s.out_channels * s.k_dim());
+        let bias = pseudo(23, s.out_channels);
+        let f32_out = conv_forward_f32(&input, &weight, &bias, &s);
+
+        let in_scale = crate::quantize::symmetric_scale_i8(&input);
+        let w_scale = crate::quantize::symmetric_scale_i8(&weight);
+        let input_q: Vec<i8> = input
+            .iter()
+            .map(|&v| crate::quantize::quantize_value_i8(v, in_scale))
+            .collect();
+        let weight_q: Vec<i8> = weight
+            .iter()
+            .map(|&v| crate::quantize::quantize_value_i8(v, w_scale))
+            .collect();
+        let i8_out = conv_forward_i8(&input_q, in_scale, &weight_q, w_scale, &bias, false, &s);
+        // Error bound: K products, each off by at most one half-step per side.
+        let bound = s.k_dim() as f32 * (in_scale + w_scale);
+        for (a, b) in f32_out.iter().zip(&i8_out) {
+            assert!((a - b).abs() < bound, "int8 drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_relu_clamps_negative_outputs() {
+        let s = ConvShape {
+            batch: 1,
+            in_channels: 1,
+            height: 3,
+            width: 3,
+            out_channels: 1,
+            kernel: 3,
+            pad: 0,
+        };
+        // All-negative product with a negative bias: fused ReLU must clamp.
+        let input = vec![1.0f32; 9];
+        let weight = vec![-1.0f32; 9];
+        let bias = vec![-0.5f32];
+        let in_scale = crate::quantize::symmetric_scale_i8(&input);
+        let w_scale = crate::quantize::symmetric_scale_i8(&weight);
+        let iq: Vec<i8> = input
+            .iter()
+            .map(|&v| crate::quantize::quantize_value_i8(v, in_scale))
+            .collect();
+        let wq: Vec<i8> = weight
+            .iter()
+            .map(|&v| crate::quantize::quantize_value_i8(v, w_scale))
+            .collect();
+        let out = conv_forward_i8(&iq, in_scale, &wq, w_scale, &bias, true, &s);
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn int8_dense_matches_exact_small_integers() {
+        // Weights/inputs exactly representable: int8 path is exact.
+        let input = [1.0f32, 2.0, -3.0, 4.0];
+        let weight_t = [1.0f32, 0.0, 2.0, -1.0, 0.5, 0.5, 0.5, 0.5]; // [out=2, in=4]
+        let in_scale = crate::quantize::symmetric_scale_i8(&input);
+        let w_scale = crate::quantize::symmetric_scale_i8(&weight_t);
+        let iq: Vec<i8> = input
+            .iter()
+            .map(|&v| crate::quantize::quantize_value_i8(v, in_scale))
+            .collect();
+        let wq: Vec<i8> = weight_t
+            .iter()
+            .map(|&v| crate::quantize::quantize_value_i8(v, w_scale))
+            .collect();
+        let out = dense_forward_i8(&iq, in_scale, &wq, w_scale, &[0.0, 1.0], false, 1, 4, 2);
+        assert!((out[0] - (1.0 - 6.0 - 4.0)).abs() < 0.1, "got {}", out[0]);
+        assert!((out[1] - (0.5 * (1.0 + 2.0 - 3.0 + 4.0) + 1.0)).abs() < 0.1);
+    }
+}

@@ -34,6 +34,10 @@ impl Layer for Relu {
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         input.map(|v| v.max(0.0))
     }
 
@@ -94,9 +98,13 @@ impl Layer for Sigmoid {
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let out = input.map(sigmoid_scalar);
+        let out = self.infer(input);
         self.cached_output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(sigmoid_scalar)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -1,5 +1,6 @@
 //! 2-D convolution layer.
 
+use crate::gemm::{self, ConvShape};
 use crate::init::Init;
 use crate::layers::{Layer, ParamGrad};
 use crate::serialize::LayerExport;
@@ -129,6 +130,64 @@ impl Conv2d {
         }
     }
 
+    /// Validates the input against the layer configuration and derives the
+    /// kernel geometry shared by the f32 and int8 GEMM paths.
+    fn conv_shape(&self, input: &Tensor) -> ConvShape {
+        let (n, c, h, w) = dims4(input);
+        assert_eq!(
+            c, self.in_channels,
+            "input channel count {c} does not match layer in_channels {}",
+            self.in_channels
+        );
+        let p = self.pad_amount();
+        let (ph, pw) = (h + 2 * p, w + 2 * p);
+        let k = self.kernel;
+        assert!(
+            ph >= k && pw >= k,
+            "input spatial size {ph}x{pw} smaller than kernel {k}"
+        );
+        ConvShape {
+            batch: n,
+            in_channels: self.in_channels,
+            height: h,
+            width: w,
+            out_channels: self.out_channels,
+            kernel: k,
+            pad: p,
+        }
+    }
+
+    /// The scalar seed kernel, kept as the oracle the GEMM path is proven
+    /// bit-identical against (property tests) and as the baseline the
+    /// `nn-bench` suite measures speedups from. Not used on any hot path.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
+        let s = self.conv_shape(input);
+        let padded = self.padded(input);
+        let (n, k) = (s.batch, s.kernel);
+        let (oh, ow) = (s.out_height(), s.out_width());
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                let bias = self.bias.get(&[oc]);
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    acc += self.weight.get(&[oc, ic, ky, kx])
+                                        * padded.get(&[b, ic, y + ky, x + kx]);
+                                }
+                            }
+                        }
+                        out.set(&[b, oc, y, x], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn padded(&self, input: &Tensor) -> Tensor {
         let p = self.pad_amount();
         if p == 0 {
@@ -165,43 +224,18 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let (n, c, _, _) = dims4(input);
-        assert_eq!(
-            c, self.in_channels,
-            "input channel count {c} does not match layer in_channels {}",
-            self.in_channels
-        );
-        let padded = self.padded(input);
-        let (_, _, ph, pw) = dims4(&padded);
-        let k = self.kernel;
-        assert!(
-            ph >= k && pw >= k,
-            "input spatial size {ph}x{pw} smaller than kernel {k}"
-        );
-        let oh = ph - k + 1;
-        let ow = pw - k + 1;
-        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        for b in 0..n {
-            for oc in 0..self.out_channels {
-                let bias = self.bias.get(&[oc]);
-                for y in 0..oh {
-                    for x in 0..ow {
-                        let mut acc = bias;
-                        for ic in 0..self.in_channels {
-                            for ky in 0..k {
-                                for kx in 0..k {
-                                    acc += self.weight.get(&[oc, ic, ky, kx])
-                                        * padded.get(&[b, ic, y + ky, x + kx]);
-                                }
-                            }
-                        }
-                        out.set(&[b, oc, y, x], acc);
-                    }
-                }
-            }
-        }
+        let out = self.infer(input);
         self.cached_input = Some(input.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let s = self.conv_shape(input);
+        let out = gemm::conv_forward_f32(input.data(), self.weight.data(), self.bias.data(), &s);
+        Tensor::from_vec(
+            out,
+            &[s.batch, self.out_channels, s.out_height(), s.out_width()],
+        )
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -373,6 +407,35 @@ mod tests {
         let mut conv = Conv2d::new(2, 1, 3, Padding::Valid, 0);
         let x = Tensor::zeros(&[1, 1, 5, 5]);
         conv.forward(&x);
+    }
+
+    #[test]
+    fn gemm_forward_is_bit_identical_to_reference_kernel() {
+        for (padding, seed) in [(Padding::Valid, 7u64), (Padding::Same, 8u64)] {
+            let mut conv = Conv2d::new(3, 5, 3, padding, seed);
+            let x = crate::init::Init::XavierUniform.make(&[2, 3, 9, 11], 27, 27, seed + 100);
+            let fast = conv.forward(&x);
+            let reference = conv.forward_reference(&x);
+            assert_eq!(fast.shape(), reference.shape());
+            for (a, b) in fast.data().iter().zip(reference.data()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "GEMM path drifted from seed kernel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward_without_caching() {
+        let mut conv = Conv2d::new(2, 3, 3, Padding::Same, 9);
+        let x = crate::init::Init::XavierUniform.make(&[1, 2, 6, 6], 18, 18, 4);
+        let from_infer = conv.infer(&x);
+        assert!(conv.cached_input.is_none(), "infer must not cache");
+        let from_forward = conv.forward(&x);
+        assert!(conv.cached_input.is_some(), "forward must cache");
+        assert_eq!(from_infer.data(), from_forward.data());
     }
 
     #[test]

@@ -95,6 +95,12 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = self.infer(input);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects a [batch, features] tensor");
         assert_eq!(
             input.shape()[1],
@@ -104,14 +110,12 @@ impl Layer for Dense {
             self.in_features
         );
         let mut out = input.matmul(&self.weight);
-        let batch = input.shape()[0];
-        for b in 0..batch {
-            for o in 0..self.out_features {
-                let v = out.get(&[b, o]) + self.bias.get(&[o]);
-                out.set(&[b, o], v);
+        let bias = self.bias.data();
+        for row in out.data_mut().chunks_exact_mut(self.out_features) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
             }
         }
-        self.cached_input = Some(input.clone());
         out
     }
 

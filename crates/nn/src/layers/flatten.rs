@@ -35,11 +35,15 @@ impl Layer for Flatten {
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_shape = input.shape().to_vec();
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert!(
             input.rank() >= 2,
             "Flatten expects at least a rank-2 tensor"
         );
-        self.input_shape = input.shape().to_vec();
         let batch = input.shape()[0];
         let features: usize = input.shape()[1..].iter().product();
         input.reshape(&[batch, features])

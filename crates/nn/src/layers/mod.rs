@@ -11,6 +11,7 @@ mod dense;
 mod flatten;
 mod pool;
 
+pub(crate) use activation::sigmoid_scalar;
 pub use activation::{Relu, Sigmoid};
 pub use conv::{Conv2d, Padding};
 pub use dense::Dense;
@@ -35,6 +36,14 @@ pub trait Layer: Send {
 
     /// Runs the layer on `input`, caching anything needed for `backward`.
     fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Inference-only forward: produces exactly the same output as
+    /// [`Layer::forward`] (bit-for-bit) but skips every gradient cache —
+    /// no input clone, no argmax bookkeeping, no shape capture. This is the
+    /// hot path behind [`crate::Sequential::predict`]; calling `backward`
+    /// after `infer` panics (or uses a stale cache) just like calling it
+    /// before `forward`.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Propagates `grad_output` (gradient of the loss w.r.t. this layer's
     /// output) backwards, accumulating parameter gradients and returning the

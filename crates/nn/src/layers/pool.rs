@@ -98,6 +98,42 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "MaxPool2d expects an NCHW tensor");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.window;
+        assert!(h >= k && w >= k, "input {h}x{w} smaller than window {k}");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = input.data();
+        let dst = out.data_mut();
+        let mut oi = 0;
+        for plane in 0..n * c {
+            let src_plane = &src[plane * h * w..][..h * w];
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..k {
+                        let row = &src_plane[(y * k + ky) * w + x * k..][..k];
+                        for &v in row {
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    dst[oi] = best;
+                    oi += 1;
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert!(
             !self.input_shape.is_empty(),
@@ -146,6 +182,19 @@ mod tests {
         let g = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]);
         let gi = pool.backward(&g);
         assert_eq!(gi.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn infer_matches_forward_without_argmax_bookkeeping() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            (0..36).map(|v| ((v * 7) % 13) as f32).collect(),
+            &[1, 1, 6, 6],
+        );
+        let fast = pool.infer(&x);
+        assert!(pool.argmax.is_empty(), "infer must not record argmax");
+        let slow = pool.forward(&x);
+        assert_eq!(fast.data(), slow.data());
     }
 
     #[test]

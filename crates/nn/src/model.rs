@@ -121,6 +121,29 @@ impl Sequential {
         x
     }
 
+    /// Inference-only forward: bit-identical output to
+    /// [`Sequential::forward`] but routed through [`Layer::infer`], so no
+    /// layer clones its input or keeps backward bookkeeping. This is the hot
+    /// path for deployed models serving whole frame batches; per-layer
+    /// telemetry uses the same `<prefix>.fwd.<i>.<layer>` histogram names as
+    /// the training forward.
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        if !self.telemetry.is_enabled() {
+            let mut x = input.clone();
+            for layer in &self.layers {
+                x = layer.infer(&x);
+            }
+            return x;
+        }
+        self.refresh_layer_names();
+        let rec = self.telemetry.clone();
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = rec.time(&self.fwd_names[i], || layer.infer(&x));
+        }
+        x
+    }
+
     /// Back-propagates the gradient of the loss w.r.t. the model output,
     /// accumulating parameter gradients in every layer.
     ///
@@ -283,6 +306,43 @@ mod tests {
             "nn.test.bwd.0.Dense",
             "nn.test.bwd.1.Sigmoid",
         ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn predict_is_bit_identical_to_forward() {
+        let r = 16usize;
+        let mut m = Sequential::new()
+            .push(Conv2d::new(4, 8, 3, Padding::Valid, 0))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Flatten::new())
+            .push(Dense::new(8 * 6 * 7, 1, 1))
+            .push(Sigmoid::new());
+        let x = crate::init::Init::XavierUniform.make(&[3, 4, r - 1, r], 16, 16, 77);
+        let trained = m.forward(&x);
+        let inferred = m.predict(&x);
+        for (a, b) in trained.data().iter().zip(inferred.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_times_layers_under_telemetry() {
+        use dl2fence_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let rec = tel.recorder();
+        let mut m = Sequential::new()
+            .push(Dense::new(3, 2, 0))
+            .push(Sigmoid::new());
+        m.set_telemetry(rec.clone(), "nn.test");
+        m.predict(&Tensor::ones(&[1, 3]));
+        rec.flush();
+        let names: Vec<String> = sink.take().iter().map(|e| e.name().to_string()).collect();
+        for expected in ["nn.test.fwd.0.Dense", "nn.test.fwd.1.Sigmoid"] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
     }

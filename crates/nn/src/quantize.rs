@@ -12,23 +12,72 @@ use crate::tensor::Tensor;
 /// returns the de-quantized result (the values an accelerator holding
 /// integer weights would effectively compute with).
 ///
-/// An all-zero tensor is returned unchanged.
+/// An all-zero tensor is returned unchanged. Non-finite inputs saturate: the
+/// scale is computed over the finite values only, `±inf` clamps to the
+/// extreme representable level and `NaN` maps to zero — a hardware
+/// fixed-point grid has no representation for either, and letting them
+/// poison `scale` used to silently turn the whole grid into NaN.
 ///
 /// # Panics
 ///
 /// Panics if `bits` is not in `2..=16`.
 pub fn quantize_tensor(tensor: &Tensor, bits: u32) -> Tensor {
     assert!((2..=16).contains(&bits), "bits must be in 2..=16");
-    let max_abs = tensor.data().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
-    if max_abs == 0.0 {
-        return tensor.clone();
-    }
+    let max_abs = tensor
+        .data()
+        .iter()
+        .map(|v| v.abs())
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, f32::max);
     let levels = (1i64 << (bits - 1)) - 1;
+    if max_abs == 0.0 {
+        // All zero (or no finite values at all): the grid collapses to zero.
+        return tensor.map(|v| if v == 0.0 { v } else { 0.0 });
+    }
     let scale = max_abs / levels as f32;
     tensor.map(|v| {
+        if v.is_nan() {
+            return 0.0;
+        }
+        // `±inf / scale` stays infinite and saturates on the clamp below.
         let q = (v / scale).round().clamp(-(levels as f32), levels as f32);
         q * scale
     })
+}
+
+/// The symmetric int8 scale for a value slice: `max|x| / 127`, computed over
+/// the finite values only (an empty or all-non-finite slice yields `0.0`,
+/// which [`quantize_value_i8`] treats as "everything quantizes to zero").
+///
+/// This is the scale contract shared by the fused int8 kernels in
+/// [`crate::gemm`] and the quantized model in [`crate::qmodel`]: weights are
+/// quantized once at build time, activations dynamically per invocation.
+pub fn symmetric_scale_i8(values: &[f32]) -> f32 {
+    let max_abs = values
+        .iter()
+        .map(|v| v.abs())
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, f32::max);
+    max_abs / 127.0
+}
+
+/// Quantizes one value to i8 under a [`symmetric_scale_i8`] scale, saturating
+/// at `±127` and mapping `NaN` (and a zero scale) to `0`.
+pub fn quantize_value_i8(value: f32, scale: f32) -> i8 {
+    if scale == 0.0 || value.is_nan() {
+        return 0;
+    }
+    (value / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes a slice to i8 with its own symmetric scale, returning both.
+pub fn quantize_slice_i8(values: &[f32]) -> (Vec<i8>, f32) {
+    let scale = symmetric_scale_i8(values);
+    let q = values
+        .iter()
+        .map(|&v| quantize_value_i8(v, scale))
+        .collect();
+    (q, scale)
 }
 
 /// The largest absolute element-wise error introduced by quantizing `tensor`
@@ -145,5 +194,49 @@ mod tests {
     #[should_panic(expected = "bits")]
     fn invalid_bit_width_panics() {
         quantize_tensor(&Tensor::ones(&[2]), 1);
+    }
+
+    #[test]
+    fn non_finite_values_saturate_instead_of_poisoning_the_grid() {
+        // Regression: a single inf used to make `scale` infinite and turn
+        // every finite value into NaN; a NaN survived quantization as NaN.
+        let t = Tensor::from_vec(
+            vec![f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 0.5, -1.0],
+            &[5],
+        );
+        let q = quantize_tensor(&t, 8);
+        assert!(
+            q.data().iter().all(|v| v.is_finite()),
+            "quantized grid must be finite, got {:?}",
+            q.data()
+        );
+        // Scale comes from the finite values only (max_abs = 1.0), so ±inf
+        // saturate at the extremes and NaN collapses to zero.
+        assert!((q.data()[0] - 1.0).abs() < 1e-5);
+        assert!((q.data()[1] + 1.0).abs() < 1e-5);
+        assert_eq!(q.data()[2], 0.0);
+        assert!((q.data()[3] - 0.5).abs() < 0.01);
+        assert!((q.data()[4] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn all_non_finite_tensor_collapses_to_zero() {
+        let t = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY], &[3]);
+        let q = quantize_tensor(&t, 8);
+        assert_eq!(q.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn i8_helpers_round_trip_representable_values() {
+        let values = [1.0f32, -0.5, 0.25, 127.0 / 127.0];
+        let (q, scale) = quantize_slice_i8(&values);
+        for (&orig, &qi) in values.iter().zip(&q) {
+            let back = qi as f32 * scale;
+            assert!((back - orig).abs() <= scale / 2.0 + 1e-6);
+        }
+        assert_eq!(quantize_value_i8(f32::NAN, scale), 0);
+        assert_eq!(quantize_value_i8(f32::INFINITY, scale), 127);
+        assert_eq!(quantize_value_i8(f32::NEG_INFINITY, scale), -127);
+        assert_eq!(quantize_value_i8(1.0, 0.0), 0);
     }
 }

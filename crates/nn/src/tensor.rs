@@ -105,6 +105,49 @@ impl Tensor {
         Tensor::from_vec(data, &[rows.len(), cols])
     }
 
+    /// Stacks equally shaped tensors along a new leading batch dimension:
+    /// `k` tensors of shape `[d0, d1, ...]` become one `[k, d0, d1, ...]`
+    /// tensor. This is how multi-frame batches are assembled for
+    /// [`crate::Sequential::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the shapes disagree.
+    pub fn stack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack requires at least one tensor");
+        let inner = parts[0].shape();
+        let mut data = Vec::with_capacity(parts.len() * parts[0].len());
+        for p in parts {
+            assert_eq!(
+                p.shape(),
+                inner,
+                "stack requires equal shapes: {:?} vs {inner:?}",
+                p.shape()
+            );
+            data.extend_from_slice(p.data());
+        }
+        let mut shape = Vec::with_capacity(inner.len() + 1);
+        shape.push(parts.len());
+        shape.extend_from_slice(inner);
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// Extracts batch element `index` of a tensor whose leading dimension is
+    /// the batch, keeping a batch dimension of one (`[n, d...] → [1, d...]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank < 2 or `index` is out of bounds.
+    pub fn batch_item(&self, index: usize) -> Tensor {
+        assert!(self.rank() >= 2, "batch_item requires a batched tensor");
+        let n = self.shape[0];
+        assert!(index < n, "batch index {index} out of bounds for {n}");
+        let stride = self.len() / n;
+        let mut shape = self.shape.clone();
+        shape[0] = 1;
+        Tensor::from_vec(self.data[index * stride..][..stride].to_vec(), &shape)
+    }
+
     /// The shape of the tensor.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -524,6 +567,25 @@ mod tests {
         let m = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m.shape(), &[2, 2]);
         assert_eq!(m.get(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    fn stack_then_batch_item_round_trips() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.batch_item(0).data(), a.data());
+        assert_eq!(s.batch_item(1).data(), b.data());
+        assert_eq!(s.batch_item(1).shape(), &[1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn stack_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = Tensor::stack(&[&a, &b]);
     }
 
     #[test]
