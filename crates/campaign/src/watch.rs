@@ -21,16 +21,22 @@ use std::path::Path;
 pub struct WatchSnapshot {
     /// The directory's stored/missing state (see [`crate::status`]).
     pub dir: DirStatus,
-    /// Completed fraction of the owned runs, in `[0, 1]`.
+    /// Completed fraction of the owned runs, always finite and in
+    /// `[0, 1]`. A spec that expands to zero runs (an empty grid) is
+    /// complete by definition, so it reports `1.0` — never `NaN`.
     pub progress: f64,
     /// Aggregated telemetry, when the campaign runs with `--telemetry`.
     /// `None` means no event log exists — progress still works, rates
     /// don't.
     pub timings: Option<TimingSummary>,
-    /// Completed runs per second of telemetry wall time.
+    /// Completed runs per second of telemetry wall time. `None` without
+    /// telemetry, and `None` while the log is still warming up — events
+    /// exist but no run has both completed and advanced the telemetry
+    /// wall clock (`wall_us == 0`), where a naive division would report
+    /// `inf` runs/s and a `0.0s` ETA.
     pub runs_per_sec: Option<f64>,
     /// Estimated seconds until the missing runs complete at the observed
-    /// rate. `None` without telemetry or before the first completed run.
+    /// rate. `None` whenever [`Self::runs_per_sec`] is.
     pub eta_secs: Option<f64>,
 }
 
@@ -48,11 +54,15 @@ impl WatchSnapshot {
             let summary = summarize_events(&path.join(EVENTS_FILE))?;
             (summary.events > 0).then_some(summary)
         };
+        // `0/0` runs is a complete (if vacuous) campaign, not NaN.
         let progress = if dir.owned_runs > 0 {
-            dir.completed as f64 / dir.owned_runs as f64
+            (dir.completed as f64 / dir.owned_runs as f64).clamp(0.0, 1.0)
         } else {
             1.0
         };
+        // A zero wall clock means the log exists but no flushed event has
+        // advanced time yet (first batch in flight): dividing would yield
+        // `inf` runs/s and a 0.0s ETA, so stay in the warming-up state.
         let runs_per_sec = timings.as_ref().and_then(|t| {
             (t.wall_us > 0 && dir.completed > 0)
                 .then(|| dir.completed as f64 / (t.wall_us as f64 / 1e6))
@@ -111,6 +121,9 @@ impl WatchSnapshot {
                 ""
             },
         );
+        if self.dir.owned_runs == 0 {
+            let _ = writeln!(out, "  (spec expands to zero runs — nothing to execute)");
+        }
         let _ = writeln!(out, "  log: {}", human_bytes(self.dir.runs_bytes));
         match (self.runs_per_sec, self.eta_secs) {
             (Some(rps), Some(eta)) if !self.complete() => {
@@ -118,6 +131,9 @@ impl WatchSnapshot {
             }
             (Some(rps), _) => {
                 let _ = writeln!(out, "  throughput: {rps:.2} runs/s");
+            }
+            (None, _) if self.timings.is_some() && !self.complete() => {
+                let _ = writeln!(out, "  throughput: warming up (no timed runs yet)");
             }
             _ => {}
         }

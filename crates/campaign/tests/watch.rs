@@ -1,0 +1,168 @@
+//! Regression suite for `campaign watch` edge cases.
+//!
+//! Two degenerate-but-legal directory shapes used to render garbage:
+//!
+//! 1. **Empty grid** — a spec whose grid expands to zero runs (no FIR
+//!    points and no benign runs). `completed / owned_runs` is `0 / 0`;
+//!    the snapshot must report a defined, finite progress instead of NaN.
+//! 2. **Unflushed telemetry** — `events.jsonl` exists but no flushed event
+//!    has advanced the wall clock (`wall_us == 0`, the moment between
+//!    file creation and the first batch flush). `completed / wall` is
+//!    `n / 0`; the snapshot must stay in a "warming up" state instead of
+//!    reporting `inf` runs/s and a `0.0s` ETA.
+
+use dl2fence_campaign::{run_streaming, CampaignSpec, Executor, WatchSnapshot, EVENTS_FILE};
+use dl2fence_telemetry::{Event, EventData};
+use std::path::PathBuf;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dl2fence-watch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    root
+}
+
+fn tiny_spec(name: &str) -> CampaignSpec {
+    let mut spec = CampaignSpec::quick(name);
+    spec.sim.warmup_cycles = 100;
+    spec.sim.sample_period = 200;
+    spec.sim.samples_per_run = 1;
+    spec.grid.mesh = vec![4];
+    spec.grid.fir = vec![0.8];
+    spec.grid.workloads = vec!["uniform".to_string()];
+    spec.grid.attack_placements = 1;
+    spec.grid.benign_runs = 1;
+    spec
+}
+
+/// A grid with no FIR points and no benign runs is valid and expands to
+/// zero runs. Watching its directory must render finite, defined output:
+/// progress 1.0 (vacuously complete), never NaN.
+#[test]
+fn empty_grid_dir_renders_finite_progress() {
+    let mut spec = tiny_spec("watch-empty-grid");
+    spec.grid.fir = vec![];
+    spec.grid.benign_runs = 0;
+    let root = temp_root("empty-grid");
+    let report = run_streaming(&Executor::new(1), &spec, &root).unwrap();
+    assert_eq!(report.total_runs, 0, "the grid must expand to zero runs");
+
+    let snapshot = WatchSnapshot::capture(&root).unwrap();
+    assert_eq!(snapshot.dir.owned_runs, 0);
+    assert!(
+        snapshot.progress.is_finite(),
+        "0/0 runs must not be NaN: {}",
+        snapshot.progress
+    );
+    assert_eq!(snapshot.progress, 1.0, "zero owned runs is vacuously done");
+    assert!(snapshot.complete());
+    assert!(snapshot.runs_per_sec.is_none());
+    assert!(snapshot.eta_secs.is_none());
+
+    let screen = snapshot.render();
+    assert!(screen.contains("0/0 runs (100%)"), "screen:\n{screen}");
+    assert!(screen.contains("zero runs"), "screen:\n{screen}");
+    assert!(!screen.contains("NaN"), "screen:\n{screen}");
+    assert!(!screen.contains("inf"), "screen:\n{screen}");
+    // The JSON snapshot must stay machine-parseable (NaN is not JSON).
+    assert!(!snapshot.to_json().contains("NaN"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A directory with completed runs and an event log whose events are all
+/// still at `t_us == 0` (first batch not yet flushed / clock not yet
+/// advanced) must report "warming up" — `runs_per_sec = None` — instead of
+/// dividing by a zero wall clock into `inf` runs/s and a `0.0s` ETA.
+#[test]
+fn unflushed_telemetry_renders_warming_up_not_inf() {
+    let spec = tiny_spec("watch-warmup");
+    let root = temp_root("warmup");
+    let report = run_streaming(&Executor::new(1), &spec, &root).unwrap();
+    assert_eq!(report.total_runs, 2, "attack + benign run expected");
+
+    // Truncate the run log to one record so the campaign looks mid-flight
+    // (completed > 0, missing non-empty — the shape where an ETA would be
+    // shown), then plant an event log whose wall clock has not advanced.
+    let runs_path = root.join("runs.jsonl");
+    let log = std::fs::read_to_string(&runs_path).unwrap();
+    let first_line = log.lines().next().unwrap();
+    std::fs::write(&runs_path, format!("{first_line}\n")).unwrap();
+    std::fs::remove_file(root.join("report.json")).unwrap();
+    let unflushed = Event {
+        seq: 0,
+        t_us: 0,
+        worker: 0,
+        data: EventData::Counter {
+            name: "worker.jobs".to_string(),
+            delta: 1,
+            index: Some(0),
+        },
+    };
+    std::fs::write(root.join(EVENTS_FILE), format!("{}\n", unflushed.emit())).unwrap();
+
+    let snapshot = WatchSnapshot::capture(&root).unwrap();
+    assert_eq!(snapshot.dir.completed, 1);
+    assert!(!snapshot.complete());
+    let timings = snapshot.timings.as_ref().expect("the event log was read");
+    assert_eq!(timings.wall_us, 0, "the clock must not have advanced");
+    assert!(
+        snapshot.runs_per_sec.is_none(),
+        "zero wall clock must mean warming up, not {} runs/s",
+        snapshot.runs_per_sec.unwrap()
+    );
+    assert!(snapshot.eta_secs.is_none(), "no rate, no ETA");
+
+    let screen = snapshot.render();
+    assert!(screen.contains("warming up"), "screen:\n{screen}");
+    assert!(!screen.contains("inf"), "screen:\n{screen}");
+    assert!(!screen.contains("ETA 0.0s"), "screen:\n{screen}");
+    assert!(!snapshot.to_json().contains("inf"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Once the clock advances and a run completes, the throughput line comes
+/// back — warming up is a transient state, not a regression of the normal
+/// rendering.
+#[test]
+fn advanced_clock_restores_throughput_and_eta() {
+    let spec = tiny_spec("watch-advanced");
+    let root = temp_root("advanced");
+    run_streaming(&Executor::new(1), &spec, &root).unwrap();
+
+    let runs_path = root.join("runs.jsonl");
+    let log = std::fs::read_to_string(&runs_path).unwrap();
+    let first_line = log.lines().next().unwrap();
+    std::fs::write(&runs_path, format!("{first_line}\n")).unwrap();
+    std::fs::remove_file(root.join("report.json")).unwrap();
+    let flushed = Event {
+        seq: 0,
+        t_us: 2_000_000,
+        worker: 0,
+        data: EventData::Counter {
+            name: "worker.jobs".to_string(),
+            delta: 1,
+            index: Some(0),
+        },
+    };
+    std::fs::write(root.join(EVENTS_FILE), format!("{}\n", flushed.emit())).unwrap();
+
+    let snapshot = WatchSnapshot::capture(&root).unwrap();
+    let rps = snapshot.runs_per_sec.expect("clock advanced, rate defined");
+    assert!(
+        (rps - 0.5).abs() < 1e-9,
+        "1 run / 2s = 0.5 runs/s, got {rps}"
+    );
+    let eta = snapshot
+        .eta_secs
+        .expect("missing runs and a rate give an ETA");
+    assert!(
+        (eta - 2.0).abs() < 1e-9,
+        "1 missing / 0.5 rps = 2s, got {eta}"
+    );
+    let screen = snapshot.render();
+    assert!(
+        screen.contains("throughput: 0.50 runs/s"),
+        "screen:\n{screen}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -187,16 +187,16 @@ impl DosDetector {
     /// model invocation: the bundles are stacked into a `[n, 4, h, w]`
     /// input and pushed through the batched GEMM kernels. Per-bundle results
     /// are bit-identical to calling [`DosDetector::detect`] one bundle at a
-    /// time.
+    /// time. An empty batch (the shape of an idle flush tick in a serving
+    /// loop) is a no-op returning no results.
     ///
     /// # Panics
     ///
-    /// Panics if `bundles` is empty or the frame shapes disagree.
+    /// Panics if the frame shapes disagree.
     pub fn detect_batch(&mut self, bundles: &[&DirectionalFrames]) -> Vec<DetectionResult> {
-        assert!(
-            !bundles.is_empty(),
-            "detect_batch needs at least one bundle"
-        );
+        if bundles.is_empty() {
+            return Vec::new();
+        }
         let inputs: Vec<Tensor> = bundles
             .iter()
             .map(|b| frames_to_detector_input(b))
@@ -241,6 +241,21 @@ pub struct QuantizedDetector {
 }
 
 impl QuantizedDetector {
+    /// Rebuilds an int8 detector around a stored [`QuantizedModelExport`]
+    /// artifact with the default 0.5 decision threshold — the serving-side
+    /// model hot-swap path.
+    pub fn from_export(export: tinycnn::serialize::QuantizedModelExport) -> Self {
+        QuantizedDetector {
+            model: export.into_model(),
+            threshold: 0.5,
+        }
+    }
+
+    /// The decision threshold (default 0.5).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
     /// Attaches a telemetry recorder emitting `nn.qdetector.*` per-layer
     /// forward timings.
     pub fn set_telemetry(&mut self, recorder: dl2fence_telemetry::Recorder) {
@@ -253,16 +268,21 @@ impl QuantizedDetector {
     }
 
     /// Runs the int8 detector on a whole batch of frame bundles with one
-    /// fused int8 model invocation.
+    /// fused int8 model invocation. An empty batch is a no-op returning no
+    /// results.
+    ///
+    /// Unlike the f32 path, per-bundle int8 results depend on the batch
+    /// composition: the activation quantization scale is computed over the
+    /// whole stacked input, so splitting a batch differently may shift
+    /// probabilities within the quantization budget.
     ///
     /// # Panics
     ///
-    /// Panics if `bundles` is empty or the frame shapes disagree.
+    /// Panics if the frame shapes disagree.
     pub fn detect_batch(&mut self, bundles: &[&DirectionalFrames]) -> Vec<DetectionResult> {
-        assert!(
-            !bundles.is_empty(),
-            "detect_batch needs at least one bundle"
-        );
+        if bundles.is_empty() {
+            return Vec::new();
+        }
         let inputs: Vec<Tensor> = bundles
             .iter()
             .map(|b| frames_to_detector_input(b))

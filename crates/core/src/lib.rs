@@ -60,22 +60,22 @@ pub mod runtime;
 pub mod tlm;
 pub mod vce;
 
-pub use detector::{DetectionResult, DosDetector};
+pub use detector::{DetectionResult, DosDetector, QuantizedDetector};
 pub use evaluation::{BenchmarkMetrics, EvaluationReport};
 pub use fusion::MultiFrameFusion;
 pub use localizer::DosLocalizer;
-pub use pipeline::{Dl2Fence, FenceConfig, FenceReport};
+pub use pipeline::{Dl2Fence, FenceConfig, FenceModelExport, FenceReport};
 pub use runtime::{MonitoringLog, MonitoringRound, RuntimeMonitor};
 pub use tlm::TableLikeMethod;
 pub use vce::VictimComplementingEnhancement;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
-    pub use crate::detector::{DetectionResult, DosDetector};
+    pub use crate::detector::{DetectionResult, DosDetector, QuantizedDetector};
     pub use crate::evaluation::{BenchmarkMetrics, EvaluationReport};
     pub use crate::fusion::MultiFrameFusion;
     pub use crate::localizer::DosLocalizer;
-    pub use crate::pipeline::{Dl2Fence, FenceConfig, FenceReport};
+    pub use crate::pipeline::{Dl2Fence, FenceConfig, FenceModelExport, FenceReport};
     pub use crate::runtime::{MonitoringLog, MonitoringRound, RuntimeMonitor};
     pub use crate::tlm::TableLikeMethod;
     pub use crate::vce::VictimComplementingEnhancement;

@@ -10,6 +10,7 @@ use dl2fence_telemetry::Recorder;
 use noc_monitor::{DirectionalFrames, FeatureKind, FrameSampler, LabeledSample};
 use noc_sim::{Network, NodeId};
 use serde::{Deserialize, Serialize};
+use tinycnn::serialize::ModelExport;
 use tinycnn::TrainingReport;
 
 /// Configuration of a [`Dl2Fence`] instance.
@@ -108,6 +109,40 @@ pub struct FenceTrainingReport {
     pub localizer: TrainingReport,
 }
 
+/// A serializable snapshot of a trained [`Dl2Fence`]: the configuration plus
+/// both f32 model exports. This is the unit a serving layer ships, versions
+/// and hot-swaps — [`Dl2Fence::from_export`] rebuilds an instance that is
+/// bit-identical to the exporter on every input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FenceModelExport {
+    /// The configuration the models were trained under.
+    pub config: FenceConfig,
+    /// Detector weights.
+    pub detector: ModelExport,
+    /// Localizer weights.
+    pub localizer: ModelExport,
+}
+
+impl FenceModelExport {
+    /// Serializes the export to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses an export from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if the JSON is malformed.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
 /// The DL2Fence framework instance: a trained detector and localizer plus
 /// the fusion, VCE and TLM post-processing stages.
 pub struct Dl2Fence {
@@ -164,6 +199,35 @@ impl Dl2Fence {
         &self.localizer
     }
 
+    /// Exports the full trained pipeline (configuration + both f32 models)
+    /// as one serializable artifact.
+    pub fn export_model(&self) -> FenceModelExport {
+        FenceModelExport {
+            config: self.config,
+            detector: self.detector.export(),
+            localizer: self.localizer.export(),
+        }
+    }
+
+    /// Rebuilds a pipeline from an exported artifact. The restored instance
+    /// produces bit-identical reports to the exporter: the fusion/VCE/TLM
+    /// stages are pure functions of the configuration, and the model exports
+    /// round-trip weights losslessly.
+    pub fn from_export(export: FenceModelExport) -> Self {
+        let config = export.config;
+        let fusion = MultiFrameFusion::for_mesh(config.rows, config.cols)
+            .with_threshold(config.fusion_threshold);
+        Dl2Fence {
+            detector: DosDetector::from_export(config.rows, config.cols, export.detector),
+            localizer: DosLocalizer::from_export(config.rows, config.cols, export.localizer),
+            fusion,
+            vce: VictimComplementingEnhancement::new(config.rows, config.cols),
+            tlm: TableLikeMethod::new(config.rows, config.cols),
+            config,
+            telemetry: Recorder::default(),
+        }
+    }
+
     /// Trains both CNN models on a collected dataset.
     ///
     /// # Panics
@@ -203,12 +267,17 @@ impl Dl2Fence {
     ) -> FenceReport {
         let rec = self.telemetry.clone();
         let detection = rec.time("stage.detect", || self.detector.detect(detection_frames));
-        self.finish_report(detection, localization_frames)
+        self.report_for_detection(detection, localization_frames)
     }
 
     /// Runs the post-detection stages (segment → fuse → localize) for one
     /// window, or short-circuits when nothing was detected.
-    fn finish_report(
+    ///
+    /// This is the tail a serving layer runs after producing the
+    /// [`DetectionResult`] itself — e.g. from a hot-swapped
+    /// [`crate::QuantizedDetector`] — while keeping the f32 localization
+    /// stack. [`Self::analyze_frames`] is `detect` + this.
+    pub fn report_for_detection(
         &mut self,
         detection: DetectionResult,
         localization_frames: &DirectionalFrames,
@@ -283,7 +352,33 @@ impl Dl2Fence {
             let detections = rec.time("stage.detect", || self.detector.detect_batch(&bundles));
             for (sample, detection) in chunk.iter().zip(detections) {
                 let loc = sample_frames(sample, self.config.localization_feature);
-                reports.push(self.finish_report(detection, loc));
+                reports.push(self.report_for_detection(detection, loc));
+            }
+        }
+        reports
+    }
+
+    /// Analyses a set of already-assembled monitoring windows with batched
+    /// detector inference — the serving-side analogue of
+    /// [`Self::analyze_batch`], which takes [`LabeledSample`]s instead. Each
+    /// window pairs the detection-feature bundle with the
+    /// localization-feature bundle; detection frames are stacked in chunks of
+    /// [`Self::DETECT_BATCH`] and classified in one model invocation per
+    /// chunk, and only flagged windows run the segment → fuse → localize
+    /// tail. Reports are bit-identical to calling [`Self::analyze_frames`]
+    /// per window, and an empty slice (an idle flush tick) returns an empty
+    /// vector without touching the models.
+    pub fn analyze_frames_batch(
+        &mut self,
+        windows: &[(&DirectionalFrames, &DirectionalFrames)],
+    ) -> Vec<FenceReport> {
+        let rec = self.telemetry.clone();
+        let mut reports = Vec::with_capacity(windows.len());
+        for chunk in windows.chunks(Self::DETECT_BATCH) {
+            let bundles: Vec<&DirectionalFrames> = chunk.iter().map(|(det, _)| *det).collect();
+            let detections = rec.time("stage.detect", || self.detector.detect_batch(&bundles));
+            for ((_, loc), detection) in chunk.iter().zip(detections) {
+                reports.push(self.report_for_detection(detection, loc));
             }
         }
         reports
@@ -430,6 +525,70 @@ mod tests {
                 "batched detection probability drifted"
             );
             assert_eq!(&single, batched_report, "batched report diverged");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_are_total() {
+        let samples = collect_samples();
+        let mut fence = Dl2Fence::new(FenceConfig::new(8, 8).with_epochs(1, 1));
+        // Empty flush tick: no panic, no output, models untouched.
+        assert!(fence.analyze_batch(&[]).is_empty());
+        assert!(fence.analyze_frames_batch(&[]).is_empty());
+        // Lone straggler bundle: bit-identical to the per-sample path.
+        let single = fence.analyze(&samples[0]);
+        let batched = fence.analyze_batch(&samples[..1]);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(single, batched[0]);
+    }
+
+    #[test]
+    fn analyze_frames_batch_matches_per_window_analyze_frames() {
+        let samples = collect_samples();
+        let mut fence = Dl2Fence::new(FenceConfig::new(8, 8).with_epochs(6, 4).with_seed(2));
+        fence.train(&samples);
+        let windows: Vec<(&DirectionalFrames, &DirectionalFrames)> = samples
+            .iter()
+            .map(|s| {
+                (
+                    sample_frames(s, fence.config().detection_feature),
+                    sample_frames(s, fence.config().localization_feature),
+                )
+            })
+            .collect();
+        let batched = fence.analyze_frames_batch(&windows);
+        assert_eq!(batched.len(), windows.len());
+        for ((det, loc), batched_report) in windows.iter().zip(&batched) {
+            let single = fence.analyze_frames(det, loc);
+            assert_eq!(
+                single.detection.probability.to_bits(),
+                batched_report.detection.probability.to_bits(),
+                "frame-batched detection probability drifted"
+            );
+            assert_eq!(&single, batched_report, "frame-batched report diverged");
+        }
+    }
+
+    #[test]
+    fn model_export_round_trips_bit_identically() {
+        let samples = collect_samples();
+        let mut fence = Dl2Fence::new(FenceConfig::new(8, 8).with_epochs(6, 4).with_seed(5));
+        fence.train(&samples);
+
+        let json = fence.export_model().to_json().unwrap();
+        let restored_export = FenceModelExport::from_json(&json).unwrap();
+        assert_eq!(restored_export.config, *fence.config());
+        let mut restored = Dl2Fence::from_export(restored_export);
+
+        for s in &samples {
+            let a = fence.analyze(s);
+            let b = restored.analyze(s);
+            assert_eq!(
+                a.detection.probability.to_bits(),
+                b.detection.probability.to_bits(),
+                "restored pipeline's probability drifted"
+            );
+            assert_eq!(a, b, "restored pipeline diverged from the exporter");
         }
     }
 

@@ -258,6 +258,13 @@ impl DirectionalFrames {
         out
     }
 
+    /// Decomposes the bundle back into its four frames in E, N, W, S order —
+    /// the wire shape a frame stream delivers one direction at a time, which
+    /// a receiving assembler reassembles via [`DirectionalFrames::new`].
+    pub fn into_frames(self) -> Vec<FeatureFrame> {
+        self.frames
+    }
+
     /// Applies min–max normalization to every frame.
     pub fn normalized(&self) -> DirectionalFrames {
         DirectionalFrames {
@@ -361,6 +368,20 @@ mod tests {
         ];
         let bundle = DirectionalFrames::new(frames);
         bundle.frame(Direction::Local);
+    }
+
+    #[test]
+    fn into_frames_round_trips_through_new() {
+        let frames = vec![
+            frame(Direction::East, vec![0.5; 4]),
+            frame(Direction::North, vec![0.25; 4]),
+            frame(Direction::West, vec![0.75; 4]),
+            frame(Direction::South, vec![1.0; 4]),
+        ];
+        let bundle = DirectionalFrames::new(frames.clone());
+        let parts = bundle.clone().into_frames();
+        assert_eq!(parts, frames);
+        assert_eq!(DirectionalFrames::new(parts), bundle);
     }
 
     #[test]

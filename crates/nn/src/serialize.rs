@@ -121,6 +121,24 @@ impl ModelExport {
         }
         model
     }
+
+    /// A stable 64-bit fingerprint of the exported weights (FNV-1a over the
+    /// canonical JSON form). Two exports fingerprint equal iff they
+    /// serialize identically, so a serving layer can tag model versions and
+    /// detect whether a hot-swap actually changed the model.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_json(&self.to_json().expect("model export serializes"))
+    }
+}
+
+/// FNV-1a over a canonical JSON serialization.
+fn fingerprint_json(json: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Serializable description of a fused int8 [`QuantizedModel`] — the
@@ -155,6 +173,12 @@ impl QuantizedModelExport {
     /// Rebuilds a runnable [`QuantizedModel`] from this export.
     pub fn into_model(self) -> QuantizedModel {
         QuantizedModel::from_layers(self.layers)
+    }
+
+    /// A stable 64-bit fingerprint of the int8 artifact (FNV-1a over the
+    /// canonical JSON form); see [`ModelExport::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_json(&self.to_json().expect("quantized export serializes"))
     }
 }
 
@@ -212,6 +236,27 @@ mod tests {
         for (a, b) in y_before.data().iter().zip(y_after.data()) {
             assert_eq!(a.to_bits(), b.to_bits(), "round trip must be lossless");
         }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_models_and_survive_round_trips() {
+        let a = tiny_model().export();
+        let b = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, Padding::Valid, 99))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Flatten::new())
+            .push(Dense::new(2 * 3 * 3, 1, 100))
+            .push(Sigmoid::new())
+            .export();
+        assert_ne!(a.fingerprint(), b.fingerprint(), "distinct weights");
+        let round = ModelExport::from_json(&a.to_json().unwrap()).unwrap();
+        assert_eq!(a.fingerprint(), round.fingerprint(), "round trip stable");
+
+        let qa = QuantizedModel::from_model(&tiny_model()).export();
+        let qround = QuantizedModelExport::from_json(&qa.to_json().unwrap()).unwrap();
+        assert_eq!(qa.fingerprint(), qround.fingerprint());
+        assert_ne!(qa.fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! `dl2fence-serve`: online multi-tenant DoS detection.
+//!
+//! The offline story of this workspace runs the detect → segment → fuse →
+//! localize pipeline inside batch campaigns. This crate wraps the same
+//! pipeline in a **long-running service** that ingests frame streams from
+//! many concurrent meshes (tenants):
+//!
+//! - each tenant gets a [`FrameAssembler`]: a bounded ring buffer that
+//!   reassembles the monitor sampler's directional frames into 4-frame
+//!   bundles, with **explicit backpressure** — a window that completes
+//!   while the ring is full is rejected with a [`RejectReason`] and
+//!   counted, never silently dropped;
+//! - a cross-tenant dispatcher drains assembled windows into batches and
+//!   feeds a small worker pool; workers run batched detector inference
+//!   ([`dl2fence::Dl2Fence::analyze_frames_batch`] in f32 mode,
+//!   [`dl2fence::QuantizedDetector::detect_batch`] in int8 mode) and the
+//!   segment → fuse → localize tail only on flagged windows;
+//! - p50/p99 end-to-end and per-stage latencies fold into
+//!   [`dl2fence_telemetry::AggregateSink`] histograms, snapshotted as a
+//!   [`ServeStatus`] (`dl2fence-serve status --json`);
+//! - models **hot-swap atomically**: a [`ModelBundle`] travels with every
+//!   dispatched batch behind an `Arc`, so one batch always runs one model
+//!   version and a swap never drops in-flight frames.
+//!
+//! The campaign engine doubles as the load generator: [`soak::run_soak`]
+//! replays a campaign spec's traffic against the service, forces a
+//! backpressure rejection deterministically, hot-swaps mid-stream, and
+//! asserts SLOs plus bit-identical verdicts against the offline pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assembler;
+pub mod engine;
+pub mod model;
+pub mod replica;
+pub mod service;
+pub mod soak;
+pub mod status;
+
+pub use assembler::{AssembledWindow, FrameAssembler, RejectReason};
+pub use engine::{EngineCounters, ServeEngine};
+pub use model::ModelBundle;
+pub use replica::{PipelineReplica, Verdict};
+pub use service::{DetectionService, ServeConfig};
+pub use soak::{run_soak, SoakOptions, SoakReport};
+pub use status::{LatencySummary, RejectCount, ServeStatus, STATUS_SCHEMA};

@@ -1,0 +1,150 @@
+//! Shared fixtures for the serve integration tests: one small campaign's
+//! samples and two independently trained pipelines (different seeds), each
+//! in f32 and fused-int8 export form, built once per test binary.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+use dl2fence::input::sample_frames;
+use dl2fence::{Dl2Fence, FenceConfig, FenceModelExport};
+use dl2fence_campaign::{CampaignSpec, Executor};
+use dl2fence_serve::{
+    AssembledWindow, DetectionService, ModelBundle, PipelineReplica, RejectReason, Verdict,
+};
+use noc_monitor::{FeatureKind, LabeledSample};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+use tinycnn::serialize::QuantizedModelExport;
+
+/// Mesh side of every fixture sample and model.
+pub const MESH: usize = 4;
+/// Detection feature of the fixture models.
+pub const DET: FeatureKind = FeatureKind::Vco;
+/// Localization feature of the fixture models.
+pub const LOC: FeatureKind = FeatureKind::Boc;
+
+pub struct Fixture {
+    /// Labeled samples from a tiny campaign — the traffic source.
+    pub samples: Vec<LabeledSample>,
+    /// Model A (seed 1), f32 export.
+    pub export_a: FenceModelExport,
+    /// Model A, fused int8 detector.
+    pub quant_a: QuantizedModelExport,
+    /// Model B (seed 2) — a genuinely different model for swap tests.
+    pub export_b: FenceModelExport,
+    /// Model B, fused int8 detector.
+    pub quant_b: QuantizedModelExport,
+}
+
+pub fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut spec = CampaignSpec::quick("serve-test");
+        spec.grid.mesh = vec![MESH];
+        spec.sim.warmup_cycles = 100;
+        spec.sim.sample_period = 200;
+        spec.sim.samples_per_run = 2;
+        spec.sim.collect_samples = true;
+        let outcome = Executor::new(2).execute(&spec).unwrap();
+        let samples: Vec<LabeledSample> =
+            outcome.runs.into_iter().flat_map(|r| r.samples).collect();
+        assert!(samples.len() >= 6, "fixture campaign too small");
+        let train = |seed: u64| {
+            let mut fence = Dl2Fence::new(
+                FenceConfig::new(MESH, MESH)
+                    .with_epochs(6, 4)
+                    .with_seed(seed),
+            );
+            fence.train(&samples);
+            (fence.export_model(), fence.detector().quantize().export())
+        };
+        let (export_a, quant_a) = train(1);
+        let (export_b, quant_b) = train(2);
+        assert_ne!(
+            export_a.detector.fingerprint(),
+            export_b.detector.fingerprint(),
+            "the two fixture models must differ"
+        );
+        Fixture {
+            samples,
+            export_a,
+            quant_a,
+            export_b,
+            quant_b,
+        }
+    })
+}
+
+/// Streams one sample's frames as a complete window into the service,
+/// returning the completing frame's outcome.
+pub fn ingest_window(
+    service: &DetectionService,
+    tenant: u64,
+    sample: &LabeledSample,
+) -> Result<u64, RejectReason> {
+    let mut last = Ok(None);
+    for frame in sample_frames(sample, DET).clone().into_frames() {
+        last = service.ingest(tenant, frame);
+    }
+    for frame in sample_frames(sample, LOC).clone().into_frames() {
+        last = service.ingest(tenant, frame);
+    }
+    match last {
+        Ok(Some(seq)) => Ok(seq),
+        Ok(None) => panic!("a full window must complete or reject"),
+        Err(reason) => Err(reason),
+    }
+}
+
+/// Audits a verdict set against offline replicas: every batch must be
+/// version-pure, every version must map to a known bundle, and replaying
+/// each batch — same windows, same order — through a fresh
+/// [`PipelineReplica`] must reproduce every report bit-identically.
+/// Returns human-readable violations (empty = all invariants held).
+pub fn replay_parity(
+    verdicts: &[Verdict],
+    source: &BTreeMap<(u64, u64), usize>,
+    samples: &[LabeledSample],
+    bundles: &BTreeMap<u64, ModelBundle>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut batches: BTreeMap<u64, Vec<&Verdict>> = BTreeMap::new();
+    for v in verdicts {
+        batches.entry(v.batch).or_default().push(v);
+    }
+    for (batch_id, mut group) in batches {
+        group.sort_by_key(|v| v.position);
+        let version = group[0].model_version;
+        if group.iter().any(|v| v.model_version != version) {
+            failures.push(format!("batch {batch_id} mixes model versions"));
+            continue;
+        }
+        let Some(bundle) = bundles.get(&version) else {
+            failures.push(format!("batch {batch_id} ran unknown version {version}"));
+            continue;
+        };
+        let windows: Vec<AssembledWindow> = group
+            .iter()
+            .map(|v| {
+                let idx = source[&(v.tenant, v.seq)];
+                AssembledWindow {
+                    tenant: v.tenant,
+                    seq: v.seq,
+                    detection: sample_frames(&samples[idx], DET).clone(),
+                    localization: sample_frames(&samples[idx], LOC).clone(),
+                    assembled_at: Instant::now(),
+                }
+            })
+            .collect();
+        let offline = PipelineReplica::build(bundle).process(batch_id, &windows);
+        for (live, off) in group.iter().zip(&offline) {
+            if live.report != off.report {
+                failures.push(format!(
+                    "tenant {} window {} (batch {batch_id}, v{version}) differs from offline",
+                    live.tenant, live.seq
+                ));
+            }
+        }
+    }
+    failures
+}

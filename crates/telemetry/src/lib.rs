@@ -41,7 +41,7 @@ mod sink;
 pub use event::{Event, EventData, ParseError};
 pub use hist::{Histogram, BUCKET_COUNT};
 pub use recorder::{Recorder, SpanGuard};
-pub use sink::{JsonlSink, MemorySink, TelemetrySink};
+pub use sink::{AggregateSink, JsonlSink, MemorySink, TelemetrySink};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,6 +1,8 @@
 //! Event sinks: where flushed telemetry batches go.
 
-use crate::event::Event;
+use crate::event::{Event, EventData};
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
@@ -85,5 +87,174 @@ impl TelemetrySink for MemorySink {
             .lock()
             .expect("memory sink poisoned")
             .append(events);
+    }
+}
+
+/// A bounded folding sink for long-lived processes.
+///
+/// [`MemorySink`] keeps every event, so its memory grows without bound — the
+/// right shape for a test but not for a service that records latencies for
+/// days. `AggregateSink` instead folds each batch as it arrives: histogram
+/// deltas merge bucket-wise into one [`Histogram`] per name, counter deltas
+/// sum into one total per name, and span durations fold into a histogram
+/// under the span's name. Memory is `O(distinct names)` regardless of event
+/// volume, and the merged state is exactly what recording into a single
+/// histogram/counter would have produced.
+#[derive(Default)]
+pub struct AggregateSink {
+    state: Mutex<AggregateState>,
+}
+
+#[derive(Default, Clone)]
+struct AggregateState {
+    histograms: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl AggregateSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The merged histogram recorded under `name`, if any observations
+    /// arrived (span durations fold in under the span's name too).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state
+            .lock()
+            .expect("aggregate sink poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// The summed counter total for `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .expect("aggregate sink poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A snapshot of every merged histogram, keyed and ordered by name.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.state
+            .lock()
+            .expect("aggregate sink poisoned")
+            .histograms
+            .clone()
+    }
+
+    /// A snapshot of every counter total, keyed and ordered by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.state
+            .lock()
+            .expect("aggregate sink poisoned")
+            .counters
+            .clone()
+    }
+}
+
+impl TelemetrySink for AggregateSink {
+    fn append(&self, events: &mut Vec<Event>) {
+        let mut state = self.state.lock().expect("aggregate sink poisoned");
+        for e in events.drain(..) {
+            match e.data {
+                EventData::Span { name, dur_us, .. } => {
+                    state.histograms.entry(name).or_default().record_us(dur_us);
+                }
+                EventData::Counter { name, delta, .. } => {
+                    *state.counters.entry(name).or_insert(0) += delta;
+                }
+                EventData::Hist {
+                    name,
+                    count,
+                    sum_us,
+                    max_us,
+                    buckets,
+                } => {
+                    let delta = Histogram::from_parts(count, sum_us, max_us, &buckets);
+                    state.histograms.entry(name).or_default().merge(&delta);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemorySink, Telemetry};
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregate_sink_matches_single_histogram_recording() {
+        let agg = Arc::new(AggregateSink::new());
+        let tel = Telemetry::with_sink(agg.clone());
+        let mut reference = Histogram::new();
+        // Two recorders flushing interleaved deltas must merge to exactly
+        // what one histogram would have seen.
+        for (rec_id, samples) in [(0usize, [3u64, 900, 17]), (1, [0, 250_000, 64])] {
+            let rec = tel.recorder();
+            for s in samples {
+                rec.record_us("serve.e2e", s);
+                reference.record_us(s);
+            }
+            rec.add("serve.accepted", rec_id as u64 + 1);
+            rec.flush();
+        }
+        assert_eq!(agg.histogram("serve.e2e"), Some(reference));
+        assert_eq!(agg.counter("serve.accepted"), 3);
+        assert_eq!(agg.counter("never.touched"), 0);
+        assert!(agg.histogram("never.touched").is_none());
+    }
+
+    #[test]
+    fn aggregate_sink_folds_spans_into_histograms() {
+        let agg = Arc::new(AggregateSink::new());
+        let mut batch = vec![Event {
+            seq: 0,
+            t_us: 5,
+            worker: 0,
+            data: EventData::Span {
+                name: "request".into(),
+                dur_us: 120,
+                parent: None,
+                index: None,
+            },
+        }];
+        agg.append(&mut batch);
+        assert!(batch.is_empty(), "sink must drain the batch");
+        let h = agg.histogram("request").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_us(), 120);
+        assert_eq!(agg.histograms().len(), 1);
+        assert!(agg.counters().is_empty());
+    }
+
+    #[test]
+    fn aggregate_sink_memory_is_bounded_by_name_count() {
+        let agg = Arc::new(AggregateSink::new());
+        let mem = MemorySink::new();
+        for i in 0..1000u64 {
+            let mut batch = vec![Event {
+                seq: i,
+                t_us: i,
+                worker: 0,
+                data: EventData::Counter {
+                    name: "reject.queue_full".into(),
+                    delta: 1,
+                    index: None,
+                },
+            }];
+            mem.append(&mut batch.clone());
+            agg.append(&mut batch);
+        }
+        assert_eq!(mem.snapshot().len(), 1000);
+        assert_eq!(agg.counters().len(), 1, "folded to one entry per name");
+        assert_eq!(agg.counter("reject.queue_full"), 1000);
     }
 }
