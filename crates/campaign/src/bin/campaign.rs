@@ -6,7 +6,9 @@
 //! campaign run     <spec.toml|spec.json> [--workers N] [--out DIR] [--telemetry] [--quiet]
 //! campaign resume  <campaign-dir> [--spec PATH] [--workers N] [--telemetry] [--quiet]
 //! campaign shard   <spec.toml|spec.json> --shards N --index I --out DIR [--telemetry]
-//! campaign merge   <dir>... --out DIR [--workers N] [--quiet]
+//! campaign merge   <dir>... --out DIR [--workers N] [--reexec-gaps] [--quiet]
+//! campaign serve-sched <campaign-dir> [--spec PATH] [--lease-size N] [--lease-ttl SECS]
+//! campaign work    <campaign-dir> --worker ID [--patience SECS] [--fail-after N]
 //! campaign compact <campaign-dir> [--strip-samples] [--quiet]
 //! campaign status  <dir>... [--json]
 //! campaign watch   <campaign-dir> [--interval SECS] [--json]
@@ -15,9 +17,9 @@
 
 use dl2fence_campaign::stream::{run_shard_expanded, run_streaming_expanded_with};
 use dl2fence_campaign::{
-    compact, expand, merge_with, resume_with, spec_fingerprint, status, summarize_events,
-    CampaignOutcome, CampaignReport, CampaignSpec, Executor, ShardSlice, SpillPolicy,
-    WatchSnapshot, EVENTS_FILE,
+    compact, expand, merge_with_opts, resume_with, serve_sched, spec_fingerprint, status,
+    summarize_events, work, CampaignOutcome, CampaignReport, CampaignSpec, Executor, ServeOptions,
+    ShardSlice, SpillPolicy, WatchSnapshot, WorkOptions, EVENTS_FILE,
 };
 use dl2fence_telemetry::Telemetry;
 use std::io::IsTerminal as _;
@@ -52,12 +54,37 @@ usage:
       Execute shard I of N: the run indices congruent to I modulo N, streamed
       to an ordinary campaign directory whose manifest records the slice.
       Run one shard per machine, collect the directories, then `merge`.
-  campaign merge <dir>... --out DIR [--workers N] [--quiet]
+  campaign merge <dir>... --out DIR [--workers N] [--reexec-gaps] [--quiet]
                  [--spill-threshold N | --no-spill]
       Merge shard directories sharing one spec fingerprint into DIR: the
       union of their run logs (identical duplicates dedupe; gaps and
       conflicts are refused) and sample stores, plus a report.json
-      byte-identical to an uninterrupted single-machine run.
+      byte-identical to an uninterrupted single-machine run. With
+      --reexec-gaps, run indices no input holds are speculatively
+      re-executed locally instead of refused — runs are deterministic, so
+      the report stays byte-identical.
+  campaign serve-sched <campaign-dir> [--spec PATH] [--workers N] [--quiet]
+                       [--lease-size N] [--lease-ttl SECS] [--poll SECS]
+                       [--spill-threshold N | --no-spill] [--telemetry]
+      Coordinate a worker fleet over a shared filesystem: lease bounded
+      run-index batches (default --lease-size 4) to `work` processes,
+      expire and re-issue leases whose worker stops reporting progress for
+      --lease-ttl seconds (default 30), and — once every run is stored —
+      assemble DIR/report.json byte-identical to a single-machine run
+      (re-executing any residual gap indices locally). A fresh DIR needs
+      --spec; re-serving an interrupted campaign re-indexes DIR and its
+      workers/ and leases only what is missing. Start the coordinator
+      before the workers.
+  campaign work <campaign-dir> --worker ID [--workers N] [--quiet]
+                [--poll SECS] [--patience SECS] [--fail-after N]
+                [--strip-samples] [--telemetry]
+      Join the fleet serving DIR as worker ID: request leases, execute and
+      stream their runs to DIR/workers/ID, report per-run progress (the
+      lease heartbeat), and exit when the coordinator announces the matrix
+      drained. Restartable under the same ID without re-executing stored
+      runs. --patience (default 120) bounds coordinator silence;
+      --fail-after N aborts after N runs (crash injection for tests);
+      --strip-samples compacts the worker directory scalar-only on exit.
   campaign compact <campaign-dir> [--strip-samples] [--quiet]
       Atomically rewrite DIR/runs.jsonl in run-index order with duplicate
       records and any torn tail dropped. With --strip-samples, move each
@@ -103,6 +130,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("resume") => cmd_resume(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("serve-sched") => cmd_serve_sched(&args[1..]),
+        Some("work") => cmd_work(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
@@ -385,7 +414,17 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_merge(args: &[String]) -> Result<(), String> {
-    let flags = ExecFlags::parse(args, true, false, false, true)?;
+    let mut reexec_gaps = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|arg| {
+            let hit = arg.as_str() == "--reexec-gaps";
+            reexec_gaps |= hit;
+            !hit
+        })
+        .cloned()
+        .collect();
+    let flags = ExecFlags::parse(&args, true, false, false, true)?;
     if flags.paths.is_empty() {
         return Err("merge needs at least one shard directory".to_string());
     }
@@ -404,14 +443,202 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
         );
     }
     let started = Instant::now();
-    let report =
-        merge_with(&executor, &inputs, &out, flags.spill_policy()).map_err(|e| e.to_string())?;
+    let report = merge_with_opts(&executor, &inputs, &out, flags.spill_policy(), reexec_gaps)
+        .map_err(|e| e.to_string())?;
     finish(
         &report,
         started,
         Some(&out.join("report.json")),
         flags.quiet,
     );
+    Ok(())
+}
+
+/// Parses a positive seconds value (fractions allowed) for the scheduler's
+/// duration flags.
+fn parse_secs(flag: &str, value: &str) -> Result<Duration, String> {
+    let secs = value
+        .parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| format!("invalid {flag} `{value}` (need positive seconds)"))?;
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn cmd_serve_sched(args: &[String]) -> Result<(), String> {
+    let mut opts = ServeOptions::default();
+    let mut spec_path = None;
+    let mut workers = None;
+    let mut spill_threshold = None;
+    let mut no_spill = false;
+    let mut telemetry = false;
+    let mut quiet = false;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = Some(it.next().ok_or("--spec needs a path")?.clone()),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid worker count `{v}`"))?,
+                );
+            }
+            "--lease-size" => {
+                let v = it.next().ok_or("--lease-size needs a value")?;
+                opts.lease_size = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("invalid lease size `{v}`"))?;
+            }
+            "--lease-ttl" => {
+                let v = it.next().ok_or("--lease-ttl needs seconds")?;
+                opts.lease_ttl = parse_secs("--lease-ttl", v)?;
+            }
+            "--poll" => {
+                let v = it.next().ok_or("--poll needs seconds")?;
+                opts.poll = parse_secs("--poll", v)?;
+            }
+            "--spill-threshold" => {
+                let v = it.next().ok_or("--spill-threshold needs a value")?;
+                spill_threshold = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid spill threshold `{v}`"))?,
+                );
+            }
+            "--no-spill" => no_spill = true,
+            "--telemetry" => telemetry = true,
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if no_spill && spill_threshold.is_some() {
+        return Err("--no-spill and --spill-threshold are mutually exclusive".to_string());
+    }
+    let [dir] = paths.as_slice() else {
+        return Err("serve-sched takes exactly one campaign directory".to_string());
+    };
+    opts.spill = if no_spill {
+        SpillPolicy::InMemory
+    } else {
+        match spill_threshold {
+            Some(threshold) => SpillPolicy::Threshold(threshold),
+            None => SpillPolicy::default(),
+        }
+    };
+    let spec = match &spec_path {
+        Some(path) => Some(load_spec(path)?),
+        None => None,
+    };
+    let mut executor = match workers {
+        Some(n) => Executor::new(n),
+        None => Executor::with_available_parallelism(),
+    };
+    let dir_path = Path::new(dir);
+    if telemetry {
+        // A re-served campaign appends, continuing the original sequence
+        // numbers — exactly like `resume`.
+        let append = dir_path.join(EVENTS_FILE).exists();
+        executor = executor.with_telemetry(telemetry_in(dir_path, append)?);
+    }
+    if !quiet {
+        eprintln!(
+            "serving campaign in {dir}: leases of {} run(s), ttl {:.1}s...",
+            opts.lease_size,
+            opts.lease_ttl.as_secs_f64()
+        );
+    }
+    let started = Instant::now();
+    let report =
+        serve_sched(&executor, dir_path, spec.as_ref(), &opts).map_err(|e| e.to_string())?;
+    finish(&report, started, Some(&dir_path.join("report.json")), quiet);
+    Ok(())
+}
+
+fn cmd_work(args: &[String]) -> Result<(), String> {
+    let mut worker_id = None;
+    let mut poll = None;
+    let mut patience = None;
+    let mut fail_after = None;
+    let mut strip_samples = false;
+    let mut workers = None;
+    let mut telemetry = false;
+    let mut quiet = false;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--worker" => worker_id = Some(it.next().ok_or("--worker needs an id")?.clone()),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid worker count `{v}`"))?,
+                );
+            }
+            "--poll" => {
+                let v = it.next().ok_or("--poll needs seconds")?;
+                poll = Some(parse_secs("--poll", v)?);
+            }
+            "--patience" => {
+                let v = it.next().ok_or("--patience needs seconds")?;
+                patience = Some(parse_secs("--patience", v)?);
+            }
+            "--fail-after" => {
+                let v = it.next().ok_or("--fail-after needs a run count")?;
+                fail_after = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --fail-after `{v}`"))?,
+                );
+            }
+            "--strip-samples" => strip_samples = true,
+            "--telemetry" => telemetry = true,
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let [dir] = paths.as_slice() else {
+        return Err("work takes exactly one (coordinator) campaign directory".to_string());
+    };
+    let mut opts = WorkOptions::named(worker_id.ok_or("work needs --worker ID")?);
+    if let Some(poll) = poll {
+        opts.poll = poll;
+    }
+    if let Some(patience) = patience {
+        opts.patience = patience;
+    }
+    opts.fail_after = fail_after;
+    opts.strip_samples = strip_samples;
+    let mut executor = match workers {
+        Some(n) => Executor::new(n),
+        None => Executor::with_available_parallelism(),
+    };
+    if telemetry {
+        let wdir = Path::new(dir).join("workers").join(&opts.worker);
+        let append = wdir.join(EVENTS_FILE).exists();
+        executor = executor.with_telemetry(telemetry_in(&wdir, append)?);
+    }
+    if !quiet {
+        eprintln!(
+            "worker `{}` joining the fleet serving {dir}...",
+            opts.worker
+        );
+    }
+    let started = Instant::now();
+    let outcome = work(&executor, Path::new(dir), &opts).map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!(
+            "worker `{}`: {} run(s) executed over {} lease(s) in {:.2}s",
+            outcome.worker,
+            outcome.executed,
+            outcome.leases,
+            started.elapsed().as_secs_f64()
+        );
+    }
     Ok(())
 }
 

@@ -39,11 +39,18 @@
 //!    `runs.jsonl` atomically into index-ordered, deduplicated form
 //!    (optionally stripping sample payloads into the store), and
 //!    [`status`] inspects any set of campaign directories read-only.
+//! 8. **Dynamic fleet scheduling** — [`sched::serve_sched`] turns a
+//!    campaign directory into a coordinator that leases bounded run-index
+//!    batches ([`lease::Lease`]) to any number of [`sched::work`] workers
+//!    over a shared filesystem, expiring and re-issuing abandoned leases;
+//!    idempotent replay plus speculative gap re-execution at assembly keep
+//!    the final report byte-identical to a single-machine run even after
+//!    worker crashes.
 //!
 //! The `campaign` binary exposes the engine on the command line
 //! (`expand` / `run` / `resume` / `shard` / `merge` / `compact` /
-//! `status` / `report`), and the benchmark harness's table and figure
-//! binaries are built on top of it.
+//! `status` / `report` / `serve-sched` / `work`), and the benchmark
+//! harness's table and figure binaries are built on top of it.
 //!
 //! ## Quick example
 //!
@@ -76,9 +83,11 @@ pub mod compact;
 pub mod events;
 pub mod executor;
 pub mod grid;
+pub mod lease;
 pub mod merge;
 pub mod minitoml;
 pub mod report;
+pub mod sched;
 pub mod spec;
 pub mod spill;
 pub mod status;
@@ -87,13 +96,18 @@ pub mod watch;
 
 pub use compact::{compact, CompactStats};
 pub use events::{
-    read_events, summarize, summarize_events, CounterTotal, EventLog, StageTiming, TimingSummary,
-    WorkerUtilization, TIMINGS_SCHEMA,
+    read_events, segment_sessions, summarize, summarize_events, CounterTotal, EventLog,
+    SessionSummary, StageTiming, TimingSummary, WorkerUtilization, TIMINGS_SCHEMA,
 };
 pub use executor::{execute_run, CampaignOutcome, Executor, JobPanic, RunMetrics, RunResult};
 pub use grid::{derive_run_seed, expand, runs_from_scenarios, RunSpec};
-pub use merge::{merge, merge_with};
+pub use lease::{sched_status, Lease, LeaseInfo, SchedStatus};
+pub use merge::{merge, merge_with, merge_with_opts};
 pub use report::{split_by_benchmark, CampaignReport, EvalEntry, GroupSummary, ReportAccumulator};
+pub use sched::{
+    serve_sched, work, Grant, SchedConfig, SchedCounters, Scheduler, ServeOptions, WorkOptions,
+    WorkOutcome,
+};
 pub use spec::{
     parse_feature, parse_workload, validate_group_by, CampaignSpec, EvalSpec, GridSpec, ReportSpec,
     SimParams, SpecError,

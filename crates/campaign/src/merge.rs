@@ -23,7 +23,13 @@
 //!
 //! Before replaying, the union must be gapless: any run index stored by no
 //! input aborts the merge with the exact gap list (resume the shard that
-//! owns it, then merge again).
+//! owns it, then merge again). With gap re-execution enabled
+//! ([`merge_with_opts`], `campaign merge --reexec-gaps`, and the
+//! scheduler's final assembly), residual gaps are instead **speculatively
+//! re-executed** locally — every run is deterministic from spec + index, so
+//! the re-executed records are byte-identical to what a lost shard or
+//! crashed worker would have produced, and the merged report still matches
+//! a single-machine run exactly.
 
 use crate::executor::Executor;
 use crate::grid::{self, RunSpec};
@@ -33,7 +39,11 @@ use crate::spill::SampleStore;
 use crate::stream::{spec_fingerprint, CampaignDir, LogIndex, RecordEntry, SpillPolicy};
 use std::fs::File;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Scratch directory (inside the merge output) where gap re-execution
+/// streams its records; removed once the merged report is written.
+const GAPFILL_DIR: &str = ".gapfill";
 
 /// One opened input of a merge: its directory, record index, and (once the
 /// first record is read back) an open `runs.jsonl` handle — duplicate
@@ -94,17 +104,162 @@ pub fn merge_with(
     out: impl Into<PathBuf>,
     spill: SpillPolicy,
 ) -> Result<CampaignReport, SpecError> {
-    let (spec, runs, mut sources) = index_inputs(inputs)?;
-    let union = unite(&runs, &mut sources)?;
+    merge_with_opts(executor, inputs, out, spill, false)
+}
 
-    // Replay the union in run-index order: copy each record's exact bytes
-    // into the merged log and fold the parsed record into the accumulator —
-    // one record in memory at a time, one open handle per source.
+/// [`merge_with`] with optional speculative gap re-execution: when
+/// `reexec_gaps` is set, run indices stored by no input are re-executed
+/// locally (into a scratch directory removed afterwards) instead of
+/// aborting the merge — every run is deterministic from spec + index, so
+/// the merged report is still byte-identical to a single-machine run.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] under the same conditions as [`merge`], except
+/// that with `reexec_gaps` a gapped union re-executes instead of erroring.
+pub fn merge_with_opts(
+    executor: &Executor,
+    inputs: &[PathBuf],
+    out: impl Into<PathBuf>,
+    spill: SpillPolicy,
+    reexec_gaps: bool,
+) -> Result<CampaignReport, SpecError> {
+    let (spec, runs, sources) = index_inputs(inputs)?;
     let out_dir = CampaignDir::create(out, &spec, runs.len())?;
-    let fingerprint = spec_fingerprint(&spec);
-    let out_store = unite_sample_stores(&sources, &out_dir, &fingerprint)?;
+    let plan = MergePlan {
+        out_dir: &out_dir,
+        spec: &spec,
+        runs: &runs,
+        spill,
+        reexec_gaps,
+        existing_source: None,
+    };
+    merge_core(executor, plan, sources)
+}
+
+/// Assembles `extra_inputs` (the scheduler's worker directories) **into**
+/// the existing campaign directory at `root`, which doubles as merge source
+/// 0: records already in its own log are folded but not re-appended, and
+/// its sample store is not self-unioned. Residual gaps re-execute when
+/// `reexec_gaps` is set. On success `root` is a complete, ordinary campaign
+/// directory with a `report.json` byte-identical to a single-machine run.
+pub(crate) fn merge_into_existing(
+    executor: &Executor,
+    root: &Path,
+    extra_inputs: &[PathBuf],
+    spill: SpillPolicy,
+    reexec_gaps: bool,
+) -> Result<CampaignReport, SpecError> {
+    let mut inputs: Vec<PathBuf> = Vec::with_capacity(extra_inputs.len() + 1);
+    inputs.push(root.to_path_buf());
+    inputs.extend(extra_inputs.iter().cloned());
+    let (spec, runs, sources) = index_inputs(&inputs)?;
+    let out_dir = CampaignDir::open(root)?;
+    if sources[0].index.truncated_tail {
+        // Heal before appending, or the first merged record would fuse into
+        // the torn line.
+        out_dir.truncate_runs_to(sources[0].index.valid_bytes)?;
+    }
+    let plan = MergePlan {
+        out_dir: &out_dir,
+        spec: &spec,
+        runs: &runs,
+        spill,
+        reexec_gaps,
+        existing_source: Some(0),
+    };
+    merge_core(executor, plan, sources)
+}
+
+/// How [`merge_core`] should treat one merge: where the union lands, and
+/// whether one source *is* the output directory (its records are folded but
+/// never re-appended).
+struct MergePlan<'a> {
+    out_dir: &'a CampaignDir,
+    spec: &'a CampaignSpec,
+    runs: &'a [RunSpec],
+    spill: SpillPolicy,
+    reexec_gaps: bool,
+    existing_source: Option<usize>,
+}
+
+/// The shared merge engine: unite, optionally re-execute gaps, then replay
+/// the union in run-index order — copying each record's exact bytes into
+/// the merged log and folding the parsed record into the accumulator, one
+/// record in memory at a time, one open handle per source.
+fn merge_core(
+    executor: &Executor,
+    plan: MergePlan<'_>,
+    mut sources: Vec<MergeSource>,
+) -> Result<CampaignReport, SpecError> {
+    let MergePlan {
+        out_dir,
+        spec,
+        runs,
+        spill,
+        reexec_gaps,
+        existing_source,
+    } = plan;
+    let mut slots = unite(runs, &mut sources)?;
+    let gaps: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    let mut gapfill_root: Option<PathBuf> = None;
+    if !gaps.is_empty() {
+        if !reexec_gaps {
+            return Err(SpecError::new(format!(
+                "merge is missing {} of {} run indices: [{}]; resume the shard(s) that \
+                 own them, then merge again",
+                gaps.len(),
+                runs.len(),
+                render_indices(&gaps)
+            )));
+        }
+        // Speculative gap re-execution: runs are deterministic from
+        // spec + index, so executing the residual indices here yields the
+        // exact bytes the lost shard or crashed worker would have written.
+        executor
+            .telemetry()
+            .recorder()
+            .add("merge.gap_reexec_runs", gaps.len() as u64);
+        let scratch = out_dir.root().join(GAPFILL_DIR);
+        let _ = std::fs::remove_dir_all(&scratch);
+        let gap_dir = CampaignDir::create(&scratch, spec, runs.len())?;
+        let pending: Vec<RunSpec> = gaps.iter().map(|&i| runs[i].clone()).collect();
+        let mut writer = gap_dir.open_runs_for_append()?;
+        crate::stream::stream_pending(executor, spec, &pending, &gap_dir, &mut writer)?;
+        writer
+            .flush()
+            .map_err(|e| SpecError::new(format!("cannot flush gap re-execution log: {e}")))?;
+        drop(writer);
+        let index = gap_dir.index_log(runs)?;
+        let source_id = sources.len();
+        sources.push(MergeSource {
+            dir: gap_dir,
+            index,
+            reader: None,
+        });
+        for &i in &gaps {
+            let entry = sources[source_id].index.entries[i].ok_or_else(|| {
+                SpecError::new(format!(
+                    "gap re-execution produced no record for run index {i}"
+                ))
+            })?;
+            slots[i] = Some((source_id, entry));
+        }
+        gapfill_root = Some(scratch);
+    }
+    let union: Vec<(usize, RecordEntry)> = slots
+        .into_iter()
+        .map(|s| s.expect("gapless after re-execution"))
+        .collect();
+
+    let fingerprint = spec_fingerprint(spec);
+    let out_store = unite_sample_stores(&sources, out_dir, &fingerprint, existing_source)?;
     let mut writer = out_dir.open_runs_for_append()?;
-    let mut acc = ReportAccumulator::for_spec(&spec)?;
+    let mut acc = ReportAccumulator::for_spec(spec)?;
     if spec.eval.enabled {
         // The merged directory aggregates under the requested spill policy;
         // a store carried over from stripped inputs must be attached even
@@ -127,15 +282,17 @@ pub fn merge_with(
         let source = &mut sources[source_id];
         let line = source.read_record(&entry)?;
         let record = parse_record(&source.dir, &line)?;
-        writer
-            .write_all(line.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .map_err(|e| {
-                SpecError::new(format!(
-                    "cannot append to {}: {e}",
-                    out_dir.runs_path().display()
-                ))
-            })?;
+        if existing_source != Some(source_id) {
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| {
+                    SpecError::new(format!(
+                        "cannot append to {}: {e}",
+                        out_dir.runs_path().display()
+                    ))
+                })?;
+        }
         acc.try_fold(&record)?;
     }
     writer
@@ -145,6 +302,15 @@ pub fn merge_with(
 
     let report = acc.finish(executor)?;
     out_dir.write_report(&report)?;
+    if let Some(scratch) = gapfill_root {
+        drop(sources);
+        std::fs::remove_dir_all(&scratch).map_err(|e| {
+            SpecError::new(format!(
+                "cannot remove gap re-execution scratch {}: {e}",
+                scratch.display()
+            ))
+        })?;
+    }
     Ok(report)
 }
 
@@ -156,14 +322,25 @@ fn unite_sample_stores(
     sources: &[MergeSource],
     out_dir: &CampaignDir,
     fingerprint: &str,
+    existing_source: Option<usize>,
 ) -> Result<Option<SampleStore>, SpecError> {
     let mut out_store: Option<SampleStore> = None;
-    for source in sources {
+    for (source_id, source) in sources.iter().enumerate() {
         let Some(in_store) =
             SampleStore::open_existing(source.dir.samples_path(), Some(fingerprint))?
         else {
             continue;
         };
+        if existing_source == Some(source_id) {
+            // This source *is* the output directory: its store is already
+            // the union target, so copying it onto itself is both redundant
+            // and unsound (reading a store while appending to it).
+            if out_store.is_none() {
+                out_store = Some(SampleStore::attach(out_dir.samples_path(), fingerprint)?);
+            }
+            drop(in_store);
+            continue;
+        }
         if out_store.is_none() {
             out_store = Some(SampleStore::attach(out_dir.samples_path(), fingerprint)?);
         }
@@ -226,12 +403,13 @@ fn index_inputs(
 }
 
 /// Unions the sources' record locations by run index: identical duplicates
-/// dedupe (first source in argument order wins), conflicting duplicates and
-/// gaps abort.
+/// dedupe (first source in argument order wins), conflicting duplicates
+/// abort. Gaps stay `None` — the caller decides between erroring with the
+/// exact list and re-executing them.
 fn unite(
     runs: &[RunSpec],
     sources: &mut [MergeSource],
-) -> Result<Vec<(usize, RecordEntry)>, SpecError> {
+) -> Result<Vec<Option<(usize, RecordEntry)>>, SpecError> {
     let mut slots: Vec<Option<(usize, RecordEntry)>> = (0..runs.len()).map(|_| None).collect();
     for source_id in 0..sources.len() {
         // Snapshot the (Copy) locations so the reader handles stay free for
@@ -265,21 +443,7 @@ fn unite(
             }
         }
     }
-    let gaps: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.is_none().then_some(i))
-        .collect();
-    if !gaps.is_empty() {
-        return Err(SpecError::new(format!(
-            "merge is missing {} of {} run indices: [{}]; resume the shard(s) that \
-             own them, then merge again",
-            gaps.len(),
-            runs.len(),
-            render_indices(&gaps)
-        )));
-    }
-    Ok(slots.into_iter().map(|s| s.expect("gapless")).collect())
+    Ok(slots)
 }
 
 /// Renders a sorted index list exactly, one decimal per index.

@@ -14,6 +14,7 @@
 //! campaign is still running.
 
 use crate::grid;
+use crate::lease::{sched_status, SchedStatus};
 use crate::spec::SpecError;
 use crate::spill::{SampleStore, SpillStats};
 use crate::stream::{CampaignDir, ShardSlice};
@@ -34,6 +35,13 @@ pub struct DirStatus {
     pub total_runs: usize,
     /// The shard slice this directory executes, if it is a shard.
     pub shard: Option<ShardSlice>,
+    /// The scheduler worker id, if this is a worker directory
+    /// ([`crate::sched::work`]).
+    pub worker: Option<String>,
+    /// The scheduler lease table replayed from `sched/leases.jsonl`, when
+    /// this directory has been (or is being) served by
+    /// [`crate::sched::serve_sched`].
+    pub sched: Option<SchedStatus>,
     /// Run indices this directory is responsible for (`total_runs` for a
     /// whole campaign, the slice size for a shard).
     pub owned_runs: usize,
@@ -84,9 +92,10 @@ impl StatusReport {
                 "{}: campaign `{}` (fingerprint {})",
                 dir.path, dir.name, dir.fingerprint
             );
-            let shard = match dir.shard {
-                Some(s) => format!(" [shard {}/{}]", s.index, s.count),
-                None => String::new(),
+            let shard = match (&dir.shard, &dir.worker) {
+                (Some(s), _) => format!(" [shard {}/{}]", s.index, s.count),
+                (None, Some(w)) => format!(" [worker {w}]"),
+                (None, None) => String::new(),
             };
             let _ = writeln!(
                 out,
@@ -125,6 +134,9 @@ impl StatusReport {
                         ""
                     },
                 );
+            }
+            if let Some(sched) = &dir.sched {
+                render_sched(&mut out, sched);
             }
             let _ = writeln!(
                 out,
@@ -185,6 +197,25 @@ pub fn human_bytes(bytes: u64) -> String {
     format!("{value:.1} {}", UNITS[unit])
 }
 
+/// Renders a scheduler lease table (shared by `campaign status` and
+/// `campaign watch`): the counters line plus one line per lease with its
+/// worker, state and per-index progress.
+pub(crate) fn render_sched(out: &mut String, sched: &SchedStatus) {
+    let _ = writeln!(
+        out,
+        "  scheduler: {} lease(s) issued, {} active, {} completed, {} expired, \
+         {} reissued",
+        sched.issued, sched.active, sched.completed, sched.expired, sched.reissued
+    );
+    for lease in &sched.leases {
+        let _ = writeln!(
+            out,
+            "    lease {:>3} -> {:<12} {:>9} {}/{} runs",
+            lease.id, lease.worker, lease.state, lease.done, lease.runs
+        );
+    }
+}
+
 /// Renders up to `limit` indices, eliding the rest with a count.
 fn render_truncated(indices: &[usize], limit: usize) -> String {
     let shown: Vec<String> = indices.iter().take(limit).map(|i| i.to_string()).collect();
@@ -239,17 +270,28 @@ pub fn status(paths: &[PathBuf]) -> Result<StatusReport, SpecError> {
                 }
             }
         }
-        let missing: Vec<usize> = match manifest.shard {
-            Some(shard) => index
-                .missing_indices()
-                .into_iter()
-                .filter(|&i| shard.owns(i))
-                .collect(),
-            None => index.missing_indices(),
+        // A scheduler worker directory owns no fixed slice — it holds
+        // whatever its leases granted — so it is never "missing" anything;
+        // the coordinator's union view is where gaps show up.
+        let missing: Vec<usize> = if manifest.worker.is_some() {
+            Vec::new()
+        } else {
+            match manifest.shard {
+                Some(shard) => index
+                    .missing_indices()
+                    .into_iter()
+                    .filter(|&i| shard.owns(i))
+                    .collect(),
+                None => index.missing_indices(),
+            }
         };
-        let owned_runs = match manifest.shard {
-            Some(shard) => shard.owned_indices(runs.len()).count(),
-            None => runs.len(),
+        let owned_runs = if manifest.worker.is_some() {
+            index.completed()
+        } else {
+            match manifest.shard {
+                Some(shard) => shard.owned_indices(runs.len()).count(),
+                None => runs.len(),
+            }
         };
         let runs_bytes = std::fs::metadata(dir.runs_path())
             .map(|m| m.len())
@@ -260,6 +302,12 @@ pub fn status(paths: &[PathBuf]) -> Result<StatusReport, SpecError> {
             fingerprint: manifest.fingerprint,
             total_runs: runs.len(),
             shard: manifest.shard,
+            worker: manifest.worker.clone(),
+            sched: if manifest.shard.is_none() && manifest.worker.is_none() {
+                sched_status(path)?
+            } else {
+                None
+            },
             owned_runs,
             completed: index.completed(),
             missing,

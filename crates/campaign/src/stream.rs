@@ -139,6 +139,12 @@ pub struct Manifest {
     /// directory.
     #[serde(default)]
     pub shard: Option<ShardSlice>,
+    /// The scheduler worker id this directory belongs to
+    /// ([`crate::sched::work`]); `None` for a whole-campaign or shard
+    /// directory. A worker directory owns no fixed slice — it holds
+    /// whatever run indices its leases granted.
+    #[serde(default)]
+    pub worker: Option<String>,
     /// The full campaign spec.
     pub spec: CampaignSpec,
 }
@@ -152,6 +158,7 @@ impl Default for Manifest {
             fingerprint: String::new(),
             total_runs: 0,
             shard: None,
+            worker: None,
             spec: CampaignSpec::default(),
         }
     }
@@ -242,6 +249,35 @@ impl CampaignDir {
         total_runs: usize,
         shard: Option<ShardSlice>,
     ) -> Result<Self, SpecError> {
+        Self::create_inner(root, spec, total_runs, shard, None)
+    }
+
+    /// [`Self::create`] for a scheduler worker directory
+    /// ([`crate::sched::work`]): the manifest records the worker id instead
+    /// of a shard slice. A worker directory owns no fixed slice of the
+    /// matrix — leases decide what it executes — so [`resume`] only heals
+    /// it and never re-executes anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the spec fails validation, the directory
+    /// already holds a campaign, or the manifest cannot be written.
+    pub fn create_worker(
+        root: impl Into<PathBuf>,
+        spec: &CampaignSpec,
+        total_runs: usize,
+        worker: &str,
+    ) -> Result<Self, SpecError> {
+        Self::create_inner(root, spec, total_runs, None, Some(worker.to_string()))
+    }
+
+    fn create_inner(
+        root: impl Into<PathBuf>,
+        spec: &CampaignSpec,
+        total_runs: usize,
+        shard: Option<ShardSlice>,
+        worker: Option<String>,
+    ) -> Result<Self, SpecError> {
         spec.validate()?;
         let root = root.into();
         let manifest_path = root.join(MANIFEST_FILE);
@@ -259,6 +295,7 @@ impl CampaignDir {
             fingerprint: spec_fingerprint(spec),
             total_runs,
             shard,
+            worker,
             spec: spec.clone(),
         };
         let text =
@@ -800,7 +837,7 @@ pub fn run_shard_expanded(
 /// and dropping it — the pool retains no result set. A failed append aborts
 /// the pool (in-flight runs finish and are discarded) so a full disk cannot
 /// burn the rest of a long campaign on unpersistable work.
-fn stream_pending(
+pub(crate) fn stream_pending(
     executor: &Executor,
     spec: &CampaignSpec,
     pending: &[RunSpec],
@@ -905,6 +942,13 @@ pub fn resume_with(
         // fresh line — otherwise the first re-executed record merges into
         // the partial one and corrupts the log for every later resume.
         dir.truncate_runs_to(index.valid_bytes)?;
+    }
+    if manifest.worker.is_some() {
+        // A scheduler worker directory owns no fixed slice of the matrix —
+        // leases decide what it executes — so a resume heals the torn tail
+        // (done above) and re-executes nothing; restart `campaign work` to
+        // continue. No report exists to build either.
+        return Ok(None);
     }
     let missing: Vec<usize> = match manifest.shard {
         Some(shard) => index

@@ -29,7 +29,11 @@ pub struct WatchSnapshot {
     /// `None` means no event log exists — progress still works, rates
     /// don't.
     pub timings: Option<TimingSummary>,
-    /// Completed runs per second of telemetry wall time. `None` without
+    /// Completed runs per second, measured over the **current recording
+    /// session's** window — dead time between sessions (a resume, a
+    /// scheduler worker joining late) would otherwise deflate the rate and
+    /// inflate the ETA. Falls back to completed-runs over whole-log wall
+    /// time when the current session carries no timed runs. `None` without
     /// telemetry, and `None` while the log is still warming up — events
     /// exist but no run has both completed and advanced the telemetry
     /// wall clock (`wall_us == 0`), where a naive division would report
@@ -64,8 +68,17 @@ impl WatchSnapshot {
         // advanced time yet (first batch in flight): dividing would yield
         // `inf` runs/s and a 0.0s ETA, so stay in the warming-up state.
         let runs_per_sec = timings.as_ref().and_then(|t| {
-            (t.wall_us > 0 && dir.completed > 0)
-                .then(|| dir.completed as f64 / (t.wall_us as f64 / 1e6))
+            // Rate over the *current* session's window: a resume-appended
+            // log carries dead time between sessions that is not execution
+            // time. A current session with no timed runs (counter-only
+            // telemetry) falls back to the whole-log rate.
+            match t.sessions.last() {
+                Some(s) if s.runs > 0 && s.wall_us > 0 => {
+                    Some(s.runs as f64 / (s.wall_us as f64 / 1e6))
+                }
+                _ => (t.wall_us > 0 && dir.completed > 0)
+                    .then(|| dir.completed as f64 / (t.wall_us as f64 / 1e6)),
+            }
         });
         let eta_secs = runs_per_sec
             .filter(|rps| *rps > 0.0)
@@ -138,6 +151,18 @@ impl WatchSnapshot {
             _ => {}
         }
         if let Some(t) = &self.timings {
+            if t.sessions.len() > 1 {
+                let _ = writeln!(
+                    out,
+                    "  sessions: {} (rates measured over the current one)",
+                    t.sessions.len()
+                );
+            }
+        }
+        if let Some(sched) = &self.dir.sched {
+            crate::status::render_sched(&mut out, sched);
+        }
+        if let Some(t) = &self.timings {
             if !t.workers.is_empty() {
                 let line: Vec<String> = t
                     .workers
@@ -183,7 +208,15 @@ impl WatchSnapshot {
 }
 
 fn progress_bar(fraction: f64, width: usize) -> String {
-    let filled = ((fraction.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    let clamped = fraction.clamp(0.0, 1.0);
+    // Fill with floor, not round: 29.5/30 must render one cell short — a
+    // full bar before the campaign completes reads as "done". The bar only
+    // fills completely at fraction >= 1.0.
+    let filled = if clamped >= 1.0 {
+        width
+    } else {
+        ((clamped * width as f64).floor() as usize).min(width.saturating_sub(1))
+    };
     let mut bar = String::with_capacity(width);
     for _ in 0..filled {
         bar.push('#');
@@ -204,5 +237,18 @@ mod tests {
         assert_eq!(progress_bar(0.5, 10), "#####.....");
         assert_eq!(progress_bar(1.0, 10), "##########");
         assert_eq!(progress_bar(7.5, 10), "##########"); // clamped
+    }
+
+    #[test]
+    fn progress_bar_never_fills_before_completion() {
+        // 29.5/30 used to round up to a full bar — it must stay one short.
+        assert_eq!(progress_bar(29.5 / 30.0, 30).matches('#').count(), 29);
+        assert_eq!(progress_bar(0.99, 10), "#########.");
+        assert_eq!(progress_bar(0.049, 10), "..........");
+        // Anything short of 1.0 leaves at least one empty cell, even when
+        // floating-point puts the product within rounding of the width.
+        assert_eq!(progress_bar(1.0 - 1e-12, 10).matches('#').count(), 9);
+        assert_eq!(progress_bar(1.0, 1), "#");
+        assert_eq!(progress_bar(0.9, 1), ".");
     }
 }

@@ -5,8 +5,8 @@
 
 use dl2fence_campaign::stream::RUNS_FILE;
 use dl2fence_campaign::{
-    expand, merge, resume, run_shard, run_streaming, spec_fingerprint, CampaignDir, CampaignSpec,
-    Executor, RunResult, ShardSlice,
+    expand, merge, merge_with_opts, resume, run_shard, run_streaming, spec_fingerprint,
+    CampaignDir, CampaignSpec, Executor, RunResult, ShardSlice, SpillPolicy,
 };
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -177,6 +177,48 @@ fn merge_reports_the_exact_gap_list_when_a_shard_is_missing() {
     assert!(
         message.contains(&format!("missing {} of {total}", expected.len())),
         "got: {message}"
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// The same lost-shard shape, but with `--reexec-gaps`: instead of refusing
+/// with the gap list, the merge re-executes the missing strided slice
+/// locally (runs are deterministic from spec + index) and the report stays
+/// byte-identical to the single-machine run. The re-execution scratch
+/// directory must not survive the merge.
+#[test]
+fn reexec_gaps_fills_a_lost_shard_byte_identically() {
+    let base = temp_root("reexec");
+    let shards = run_shards(&base, 3);
+    let total = expand(&spec()).unwrap().len();
+
+    let inputs = vec![shards[0].clone(), shards[2].clone()];
+    let out = base.join("merged-reexec");
+    let report = merge_with_opts(
+        &Executor::new(2),
+        &inputs,
+        &out,
+        SpillPolicy::default(),
+        true,
+    )
+    .unwrap();
+    assert_eq!(&report.to_json(), reference_json());
+    assert_eq!(
+        &std::fs::read_to_string(out.join("report.json")).unwrap(),
+        reference_json()
+    );
+
+    // The merged log holds the full matrix in run-index order — shard 1's
+    // slice re-executed, not skipped — and the scratch is cleaned up.
+    let merged_log = std::fs::read_to_string(out.join(RUNS_FILE)).unwrap();
+    let indices: Vec<usize> = merged_log
+        .lines()
+        .map(|l| serde_json::from_str::<RunResult>(l).unwrap().spec.index)
+        .collect();
+    assert_eq!(indices, (0..total).collect::<Vec<_>>());
+    assert!(
+        !out.join(".gapfill").exists(),
+        "the gap re-execution scratch must be removed"
     );
     std::fs::remove_dir_all(&base).unwrap();
 }

@@ -120,6 +120,84 @@ fn unflushed_telemetry_renders_warming_up_not_inf() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A resume-appended event log carries several recording sessions (the
+/// telemetry clock restarts near zero per process). Throughput and ETA
+/// must be measured over the **current session's** window — dividing the
+/// completed count by the whole-log wall time counts the dead time between
+/// sessions as execution time and reports a uselessly deflated rate.
+#[test]
+fn resumed_log_measures_throughput_over_the_current_session() {
+    let spec = tiny_spec("watch-sessions");
+    let root = temp_root("sessions");
+    run_streaming(&Executor::new(1), &spec, &root).unwrap();
+
+    // 1 of 2 runs stored: mid-flight, the shape where a rate and ETA show.
+    let runs_path = root.join("runs.jsonl");
+    let log = std::fs::read_to_string(&runs_path).unwrap();
+    let first_line = log.lines().next().unwrap();
+    std::fs::write(&runs_path, format!("{first_line}\n")).unwrap();
+    std::fs::remove_file(root.join("report.json")).unwrap();
+
+    // Session 1: one slow run filling an 8s wall. Session 2 (a resume —
+    // t_us restarts near zero): one run over ~1s. The current rate is
+    // ~1 run/s; the whole-log division would claim ~0.11 runs/s.
+    let sessions = [
+        Event {
+            seq: 0,
+            t_us: 0,
+            worker: 0,
+            data: EventData::Span {
+                name: "run".to_string(),
+                dur_us: 8_000_000,
+                parent: None,
+                index: Some(0),
+            },
+        },
+        Event {
+            seq: 1,
+            t_us: 1_000,
+            worker: 0,
+            data: EventData::Span {
+                name: "run".to_string(),
+                dur_us: 1_000_000,
+                parent: None,
+                index: Some(1),
+            },
+        },
+    ];
+    let log: String = sessions.iter().map(|e| format!("{}\n", e.emit())).collect();
+    std::fs::write(root.join(EVENTS_FILE), log).unwrap();
+
+    let snapshot = WatchSnapshot::capture(&root).unwrap();
+    let timings = snapshot.timings.as_ref().expect("the event log was read");
+    assert_eq!(timings.sessions.len(), 2, "the reset must split sessions");
+    assert_eq!(
+        timings.wall_us, 9_001_000,
+        "whole-log wall is the sum of the session walls"
+    );
+
+    let rps = snapshot
+        .runs_per_sec
+        .expect("the current session has a run");
+    let expected = 1.0 / 1.001; // 1 run over the 1_001_000µs current window
+    assert!(
+        (rps - expected).abs() < 1e-9,
+        "rate must come from the current session: want {expected}, got {rps}"
+    );
+    let eta = snapshot.eta_secs.expect("missing runs and a rate");
+    assert!(
+        (eta - 1.001).abs() < 1e-9,
+        "1 missing run at the session rate, got {eta}"
+    );
+
+    let screen = snapshot.render();
+    assert!(
+        screen.contains("sessions: 2"),
+        "multi-session logs must say so:\n{screen}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Once the clock advances and a run completes, the throughput line comes
 /// back — warming up is a transient state, not a regression of the normal
 /// rendering.
