@@ -19,8 +19,9 @@ use std::fs::File;
 use std::path::Path;
 
 /// Schema tag stamped into every [`TimingSummary`] so committed baselines
-/// (`BENCH_campaign.json`) are self-describing.
-pub const TIMINGS_SCHEMA: &str = "dl2fence-campaign/timings/v1";
+/// (`BENCH_campaign.json`) are self-describing. Defined once in
+/// [`dl2fence_telemetry::schema`] alongside every other artifact schema.
+pub use dl2fence_telemetry::schema::TIMINGS_SCHEMA;
 
 /// A loaded telemetry event log.
 #[derive(Debug, Clone, Default)]

@@ -11,7 +11,7 @@ use crate::grid::{self, RunSpec};
 use crate::spec::{CampaignSpec, SimParams, SpecError};
 use dl2fence_telemetry::Telemetry;
 use noc_monitor::{FrameSampler, GroundTruth, LabeledSample};
-use noc_sim::{EnergyModel, NocConfig};
+use noc_sim::{EnergyModel, NocConfig, Topology};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -80,7 +80,15 @@ pub struct CampaignOutcome {
 
 /// Executes one run of a campaign.
 pub fn execute_run(sim: &SimParams, run: &RunSpec) -> RunResult {
-    let mut noc = NocConfig::mesh(run.mesh, run.mesh);
+    // Empty topology strings come from hand-built runs of the pre-topology
+    // era; they keep their legacy square-mesh meaning.
+    let topology = if run.topology.is_empty() {
+        Topology::mesh(run.mesh, run.mesh)
+    } else {
+        Topology::parse(&run.topology)
+            .unwrap_or_else(|e| panic!("run {} has an invalid topology: {e}", run.index))
+    };
+    let mut noc = NocConfig::for_topology(&topology);
     if sim.injection_queue_capacity > 0 {
         noc = noc.with_injection_queue_capacity(sim.injection_queue_capacity);
     }
@@ -103,7 +111,7 @@ pub fn execute_run(sim: &SimParams, run: &RunSpec) -> RunResult {
         scenario.network_mut().reset_boc();
     }
     let stats = scenario.network().stats();
-    let energy = EnergyModel::new().estimate(stats, run.mesh * run.mesh);
+    let energy = EnergyModel::new().estimate(stats, topology.node_count());
     RunResult {
         spec: run.clone(),
         metrics: RunMetrics {

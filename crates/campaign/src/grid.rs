@@ -6,8 +6,8 @@
 //! scheduling, which is what makes parallel and serial campaign execution
 //! bit-identical.
 
-use crate::spec::{CampaignSpec, SpecError};
-use noc_monitor::dataset::attack_catalog;
+use crate::spec::{AttackAxis, CampaignSpec, SpecError};
+use noc_monitor::dataset::{attack_catalog, distributed_catalog};
 use noc_monitor::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
@@ -20,8 +20,14 @@ pub struct RunSpec {
     pub campaign_seed: u64,
     /// The derived per-run seed (see [`derive_run_seed`]).
     pub run_seed: u64,
-    /// Mesh side (the NoC is `mesh × mesh`).
+    /// Row count of the topology (the legacy mesh side — square topologies
+    /// keep `mesh × mesh` nodes, and frame geometry derives from it).
     pub mesh: usize,
+    /// Canonical topology axis name (`"mesh8"`, `"torus4"`, `"ring2x8"`).
+    pub topology: String,
+    /// Attack-family axis name (`"fdos"`, `"ddos2"`, `"stealth"`; `"none"`
+    /// for attack-free runs).
+    pub attack: String,
     /// Benchmark name of the benign workload.
     pub workload: String,
     /// The scenario to simulate (workload, attackers, victim, FIR).
@@ -49,10 +55,12 @@ pub fn derive_run_seed(campaign_seed: u64, index: usize) -> u64 {
 
 /// Expands a spec into its run matrix.
 ///
-/// For every `(seed, mesh, workload)` combination the matrix contains
-/// `grid.benign_runs` attack-free runs followed, for every FIR value, by
-/// `grid.attack_placements` attacked runs whose placements come from the
-/// shared deterministic [`attack_catalog`].
+/// For every `(seed, topology, workload)` combination the matrix contains
+/// `grid.benign_runs` attack-free runs followed, for every FIR value and
+/// every attack family, by `grid.attack_placements` attacked runs whose
+/// placements come from the shared deterministic [`attack_catalog`] (fdos,
+/// stealth) or [`distributed_catalog`] (ddos). A legacy single-family
+/// mesh-only spec therefore expands to exactly the sequence it always did.
 ///
 /// # Errors
 ///
@@ -60,15 +68,20 @@ pub fn derive_run_seed(campaign_seed: u64, index: usize) -> u64 {
 pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunSpec>, SpecError> {
     spec.validate()?;
     let workloads = spec.workloads()?;
+    let topologies = spec.resolved_topologies()?;
+    let attacks = spec.resolved_attacks()?;
     let mut runs = Vec::new();
     for &campaign_seed in &spec.grid.seeds {
-        for &mesh in &spec.grid.mesh {
+        for topology in &topologies {
+            let (name, rows, cols) = (topology.name(), topology.rows(), topology.cols());
             for workload in &workloads {
                 for _ in 0..spec.grid.benign_runs {
                     push_run(
                         &mut runs,
                         campaign_seed,
-                        mesh,
+                        rows,
+                        name.clone(),
+                        "none".to_string(),
                         ScenarioSpec::benign(*workload),
                     );
                 }
@@ -79,20 +92,37 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunSpec>, SpecError> {
                         push_run(
                             &mut runs,
                             campaign_seed,
-                            mesh,
+                            rows,
+                            name.clone(),
+                            "none".to_string(),
                             ScenarioSpec::benign(*workload),
                         );
                         continue;
                     }
-                    for (attackers, victim, fir) in
-                        attack_catalog(mesh, mesh, spec.grid.attack_placements, fir)
-                    {
-                        push_run(
-                            &mut runs,
-                            campaign_seed,
-                            mesh,
-                            ScenarioSpec::attacked(*workload, attackers, victim, fir),
-                        );
+                    for axis in &attacks {
+                        let placements = match axis {
+                            AttackAxis::Ddos { sources } => distributed_catalog(
+                                rows,
+                                cols,
+                                spec.grid.attack_placements,
+                                *sources,
+                                fir,
+                            ),
+                            AttackAxis::Fdos | AttackAxis::Stealth => {
+                                attack_catalog(rows, cols, spec.grid.attack_placements, fir)
+                            }
+                        };
+                        for (attackers, victim, fir) in placements {
+                            push_run(
+                                &mut runs,
+                                campaign_seed,
+                                rows,
+                                name.clone(),
+                                axis.name(),
+                                ScenarioSpec::attacked(*workload, attackers, victim, fir)
+                                    .with_attack(axis.kind()),
+                            );
+                        }
                     }
                 }
             }
@@ -114,18 +144,39 @@ pub fn runs_from_scenarios(
 ) -> Vec<RunSpec> {
     let mut runs = Vec::new();
     for scenario in scenarios {
-        push_run(&mut runs, campaign_seed, mesh, scenario);
+        let attack = if scenario.is_attack() {
+            scenario.attack.name().to_string()
+        } else {
+            "none".to_string()
+        };
+        push_run(
+            &mut runs,
+            campaign_seed,
+            mesh,
+            format!("mesh{mesh}"),
+            attack,
+            scenario,
+        );
     }
     runs
 }
 
-fn push_run(runs: &mut Vec<RunSpec>, campaign_seed: u64, mesh: usize, scenario: ScenarioSpec) {
+fn push_run(
+    runs: &mut Vec<RunSpec>,
+    campaign_seed: u64,
+    mesh: usize,
+    topology: String,
+    attack: String,
+    scenario: ScenarioSpec,
+) {
     let index = runs.len();
     runs.push(RunSpec {
         index,
         campaign_seed,
         run_seed: derive_run_seed(campaign_seed, index),
         mesh,
+        topology,
+        attack,
         workload: scenario.workload.name(),
         scenario,
     });
@@ -187,8 +238,66 @@ mod tests {
 
     #[test]
     fn invalid_spec_fails_expansion() {
+        // Setting both the deprecated mesh axis and the topology axis is
+        // ambiguous and must be refused.
         let mut spec = CampaignSpec::quick("bad");
-        spec.grid.mesh = vec![];
+        spec.grid.mesh = vec![4];
+        spec.grid.topology = vec!["torus4".into()];
         assert!(expand(&spec).is_err());
+    }
+
+    #[test]
+    fn legacy_mesh_axis_expands_identically_to_its_topology_rewrite() {
+        let mut legacy = CampaignSpec::quick("compat");
+        legacy.grid.mesh = vec![4, 8];
+        legacy.grid.fir = vec![0.4, 0.8];
+        legacy.grid.attack_placements = 3;
+        let mut rewrite = legacy.clone();
+        rewrite.grid.mesh = vec![];
+        rewrite.grid.topology = vec!["mesh4".into(), "mesh8".into()];
+        assert_eq!(expand(&legacy).unwrap(), expand(&rewrite).unwrap());
+    }
+
+    #[test]
+    fn topology_and_attack_axes_multiply_the_matrix() {
+        let mut spec = CampaignSpec::quick("axes");
+        spec.grid.topology = vec!["mesh4".into(), "torus4".into(), "ring2x8".into()];
+        spec.grid.attack = vec!["fdos".into(), "ddos2".into(), "stealth".into()];
+        spec.grid.fir = vec![0.8];
+        spec.grid.attack_placements = 2;
+        spec.grid.benign_runs = 1;
+        let runs = expand(&spec).unwrap();
+        // topologies × (benign + firs × attacks × placements)
+        assert_eq!(runs.len(), 3 * (1 + 3 * 2));
+        for run in &runs {
+            assert!(["mesh4", "torus4", "ring2x8"].contains(&run.topology.as_str()));
+            if run.is_attack() {
+                assert!(["fdos", "ddos2", "stealth"].contains(&run.attack.as_str()));
+            } else {
+                assert_eq!(run.attack, "none");
+            }
+        }
+        let ddos: Vec<_> = runs.iter().filter(|r| r.attack == "ddos2").collect();
+        assert_eq!(ddos.len(), 3 * 2);
+        for run in ddos {
+            assert_eq!(run.scenario.attackers.len(), 2, "ddos2 places 2 sources");
+            assert_eq!(run.scenario.attack, noc_traffic::AttackKind::Ddos);
+        }
+        assert!(runs
+            .iter()
+            .filter(|r| r.attack == "stealth")
+            .all(|r| r.scenario.attack == noc_traffic::AttackKind::Stealth));
+    }
+
+    #[test]
+    fn ring_runs_record_non_square_geometry() {
+        let mut spec = CampaignSpec::quick("ring");
+        spec.grid.topology = vec!["ring2x8".into()];
+        let runs = expand(&spec).unwrap();
+        assert!(!runs.is_empty());
+        for run in &runs {
+            assert_eq!(run.topology, "ring2x8");
+            assert_eq!(run.mesh, 2, "mesh records the row count");
+        }
     }
 }

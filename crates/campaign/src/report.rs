@@ -213,6 +213,23 @@ fn axis_value(run: &RunResult, axis: &str) -> String {
         "workload" => run.spec.workload.clone(),
         "fir" => format!("{}", run.spec.scenario.fir),
         "mesh" => format!("{}", run.spec.mesh),
+        "topology" => {
+            if run.spec.topology.is_empty() {
+                // Hand-built pre-topology runs: legacy square-mesh meaning.
+                format!("mesh{}", run.spec.mesh)
+            } else {
+                run.spec.topology.clone()
+            }
+        }
+        "attack" => {
+            if run.spec.attack.is_empty() && !run.spec.is_attack() {
+                "none".to_string()
+            } else if run.spec.attack.is_empty() {
+                run.spec.scenario.attack.name().to_string()
+            } else {
+                run.spec.attack.clone()
+            }
+        }
         "seed" => format!("{}", run.spec.campaign_seed),
         "attackers" => format!("{}", run.spec.scenario.attackers.len()),
         "class" => if run.spec.is_attack() {
@@ -315,7 +332,13 @@ impl GroupAccumulator {
 /// aggregation path folds in run-index order.
 #[derive(Debug)]
 struct EvalPool {
+    /// Frame rows (the legacy mesh side; also the spill-store key).
     mesh: usize,
+    /// Frame columns — pools are keyed by frame geometry `(mesh, cols)`, so
+    /// topologies sharing a geometry (e.g. `mesh4` and `torus4`) train one
+    /// detector over their combined samples, exactly as the frame-based
+    /// detector sees them.
+    cols: usize,
     seed: u64,
     /// In-memory `(run index, samples)` batches, in fold order.
     batches: Vec<(usize, Vec<LabeledSample>)>,
@@ -337,6 +360,7 @@ struct SpillState {
 /// vector — what the eval phase trains on.
 struct AssembledPool {
     mesh: usize,
+    cols: usize,
     seed: u64,
     samples: Vec<LabeledSample>,
 }
@@ -349,6 +373,7 @@ impl EvalPool {
     fn assemble(self, store: Option<&SampleStore>) -> Result<AssembledPool, SpecError> {
         let EvalPool {
             mesh,
+            cols,
             seed,
             batches,
             ..
@@ -373,6 +398,7 @@ impl EvalPool {
             .collect();
         Ok(AssembledPool {
             mesh,
+            cols,
             seed,
             samples,
         })
@@ -505,11 +531,19 @@ impl ReportAccumulator {
             }
         }
         if self.eval.enabled {
-            let pool = match self.eval_pools.iter_mut().find(|p| p.mesh == run.spec.mesh) {
+            let cols = noc_sim::Topology::parse(&run.spec.topology)
+                .map(|t| t.cols())
+                .unwrap_or(run.spec.mesh);
+            let pool = match self
+                .eval_pools
+                .iter_mut()
+                .find(|p| p.mesh == run.spec.mesh && p.cols == cols)
+            {
                 Some(pool) => pool,
                 None => {
                     self.eval_pools.push(EvalPool {
                         mesh: run.spec.mesh,
+                        cols,
                         seed: run.spec.campaign_seed,
                         batches: Vec::new(),
                         retained: 0,
@@ -524,6 +558,19 @@ impl ReportAccumulator {
             }
             if let Some(spill) = &mut self.spill {
                 if self.eval_pools.iter().map(|p| p.retained).sum::<usize>() >= spill.threshold {
+                    // The spill store is keyed by frame rows alone; pools
+                    // that share a row count but differ in columns would
+                    // mix batches on replay.
+                    for (i, a) in self.eval_pools.iter().enumerate() {
+                        if self.eval_pools[..i].iter().any(|b| b.mesh == a.mesh) {
+                            return Err(SpecError::new(format!(
+                                "sample spilling cannot distinguish topologies sharing \
+                                 {} frame rows; raise the spill threshold or split the \
+                                 campaign per topology",
+                                a.mesh
+                            )));
+                        }
+                    }
                     let rec = &self.telemetry;
                     for pool in &mut self.eval_pools {
                         for (index, samples) in pool.batches.drain(..) {
@@ -638,6 +685,7 @@ pub fn split_samples(
 /// score one DL2Fence instance, with no shared mutable state.
 struct EvalJob {
     mesh: usize,
+    cols: usize,
     seed: u64,
     train: Vec<LabeledSample>,
     test: Vec<LabeledSample>,
@@ -697,6 +745,7 @@ fn run_eval_phase(
     for pool in pools {
         let AssembledPool {
             mesh,
+            cols,
             seed,
             samples,
         } = pool;
@@ -708,12 +757,13 @@ fn run_eval_phase(
         let (train, test) = split_samples(samples, eval.train_fraction);
         if test.is_empty() {
             return Err(SpecError::new(format!(
-                "eval group for the {mesh}x{mesh} mesh has no test samples; \
+                "eval group for the {mesh}x{cols} frame geometry has no test samples; \
                  lower eval.train_fraction or add runs"
             )));
         }
         jobs.push(EvalJob {
             mesh,
+            cols,
             seed,
             train,
             test,
@@ -723,7 +773,7 @@ fn run_eval_phase(
     let telemetry = executor.telemetry();
     Ok(executor.run_jobs(&jobs, |job| {
         let rec = telemetry.recorder();
-        let mut config = FenceConfig::new(job.mesh, job.mesh)
+        let mut config = FenceConfig::new(job.mesh, job.cols)
             .with_seed(job.seed)
             .with_epochs(eval.detector_epochs, eval.localizer_epochs);
         config.detection_feature = detection;

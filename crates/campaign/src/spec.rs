@@ -8,7 +8,8 @@
 //! a concrete run matrix via [`crate::grid::expand`].
 
 use crate::minitoml;
-use noc_traffic::{BenignWorkload, ParsecWorkload, SyntheticPattern};
+use noc_sim::Topology;
+use noc_traffic::{AttackKind, BenignWorkload, ParsecWorkload, SyntheticPattern};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -67,8 +68,18 @@ impl Default for SimParams {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(default)]
 pub struct GridSpec {
-    /// Mesh sides to sweep (`8` means an 8×8 mesh).
+    /// Topology axis names to sweep (`"mesh8"`, `"torus4"`, `"ring2x8"`,
+    /// `"mesh4x8"` — see [`Topology::parse`]). Empty means `["mesh8"]`
+    /// unless the deprecated `mesh` axis is set.
+    pub topology: Vec<String>,
+    /// **Deprecated** alias for `topology`: mesh sides to sweep (`8` means
+    /// `"mesh8"`). Mutually exclusive with `topology`; spec files using it
+    /// are rewritten to the `topology` axis at load time.
     pub mesh: Vec<usize>,
+    /// Attack-family axis: `"fdos"` (flooding), `"ddos<k>"` (distributed,
+    /// `k` round-robin sources, e.g. `"ddos2"`) and `"stealth"`
+    /// (duty-cycled ramp-up). Empty means `["fdos"]`.
+    pub attack: Vec<String>,
     /// Flooding injection rates of the attack runs.
     pub fir: Vec<f64>,
     /// Benign workload names (see [`parse_workload`]); aliases `"stp"`,
@@ -87,7 +98,9 @@ pub struct GridSpec {
 impl Default for GridSpec {
     fn default() -> Self {
         GridSpec {
-            mesh: vec![8],
+            topology: Vec::new(),
+            mesh: Vec::new(),
+            attack: Vec::new(),
             fir: vec![0.8],
             workloads: vec!["uniform".to_string()],
             attack_placements: 2,
@@ -103,7 +116,7 @@ impl Default for GridSpec {
 #[serde(default)]
 pub struct ReportSpec {
     /// Grouping keys, applied in order. Valid keys: `workload`, `fir`,
-    /// `mesh`, `seed`, `attackers`, `class`.
+    /// `mesh`, `topology`, `attack`, `seed`, `attackers`, `class`.
     pub group_by: Vec<String>,
 }
 
@@ -195,8 +208,9 @@ impl CampaignSpec {
     /// or an invalid parameter combination.
     pub fn from_toml(text: &str) -> Result<Self, SpecError> {
         let value = minitoml::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
-        let spec: CampaignSpec =
+        let mut spec: CampaignSpec =
             Deserialize::from_value(&value).map_err(|e| SpecError::new(e.to_string()))?;
+        spec.normalize();
         spec.validate()?;
         Ok(spec)
     }
@@ -208,10 +222,82 @@ impl CampaignSpec {
     /// Returns a [`SpecError`] on malformed JSON, an unknown workload name,
     /// or an invalid parameter combination.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
-        let spec: CampaignSpec =
+        let mut spec: CampaignSpec =
             serde_json::from_str(text).map_err(|e| SpecError::new(e.to_string()))?;
+        spec.normalize();
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// Rewrites the deprecated `grid.mesh` axis into the equivalent
+    /// `grid.topology` axis (`8` → `"mesh8"`), emitting a one-line
+    /// deprecation note. Called on every spec loaded from a file, so a
+    /// legacy spec and its `topology` rewrite become the same in-memory
+    /// value — and therefore share a [`crate::stream::spec_fingerprint`]
+    /// and produce byte-identical reports. A no-op when `grid.mesh` is
+    /// empty or `grid.topology` is already set (the latter is rejected by
+    /// [`Self::validate`]).
+    pub fn normalize(&mut self) {
+        if !self.grid.mesh.is_empty() && self.grid.topology.is_empty() {
+            self.grid.topology = self.grid.mesh.iter().map(|m| format!("mesh{m}")).collect();
+            self.grid.mesh.clear();
+            eprintln!(
+                "note: `grid.mesh` is deprecated; use `grid.topology = [{}]`",
+                self.grid
+                    .topology
+                    .iter()
+                    .map(|t| format!("{t:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+
+    /// The fully resolved topology axis: `grid.topology` parsed into
+    /// [`Topology`] instances, with the deprecated `grid.mesh` alias
+    /// honoured and both-empty defaulting to a single 8×8 mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if both axes are set, a name does not parse,
+    /// or a topology is smaller than 2×2.
+    pub fn resolved_topologies(&self) -> Result<Vec<Topology>, SpecError> {
+        if !self.grid.mesh.is_empty() && !self.grid.topology.is_empty() {
+            return Err(SpecError::new(
+                "grid.mesh and grid.topology are mutually exclusive; grid.mesh is a \
+                 deprecated alias — move its sides into grid.topology as \"mesh<N>\"",
+            ));
+        }
+        let names: Vec<String> = if !self.grid.topology.is_empty() {
+            self.grid.topology.clone()
+        } else if !self.grid.mesh.is_empty() {
+            self.grid.mesh.iter().map(|m| format!("mesh{m}")).collect()
+        } else {
+            vec!["mesh8".to_string()]
+        };
+        let mut out = Vec::with_capacity(names.len());
+        for name in &names {
+            let topology = Topology::parse(name).map_err(|e| SpecError::new(e.to_string()))?;
+            if topology.rows() < 2 || topology.cols() < 2 {
+                return Err(SpecError::new(format!(
+                    "topology `{name}` is too small for a campaign (min 2x2)"
+                )));
+            }
+            out.push(topology);
+        }
+        Ok(out)
+    }
+
+    /// The fully resolved attack-family axis; empty means `["fdos"]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first unknown attack family.
+    pub fn resolved_attacks(&self) -> Result<Vec<AttackAxis>, SpecError> {
+        if self.grid.attack.is_empty() {
+            return Ok(vec![AttackAxis::Fdos]);
+        }
+        self.grid.attack.iter().map(|n| parse_attack(n)).collect()
     }
 
     /// Loads a spec from a `.toml` or `.json` file, chosen by extension.
@@ -266,14 +352,8 @@ impl CampaignSpec {
         if self.name.is_empty() {
             return Err(SpecError::new("campaign name must not be empty"));
         }
-        if self.grid.mesh.is_empty() {
-            return Err(SpecError::new("grid.mesh must list at least one mesh side"));
-        }
-        if let Some(m) = self.grid.mesh.iter().find(|&&m| m < 2) {
-            return Err(SpecError::new(format!(
-                "mesh side {m} is too small (min 2)"
-            )));
-        }
+        self.resolved_topologies()?;
+        self.resolved_attacks()?;
         if self.grid.seeds.is_empty() {
             return Err(SpecError::new("grid.seeds must list at least one seed"));
         }
@@ -327,14 +407,89 @@ pub fn validate_group_by(keys: &[String]) -> Result<(), SpecError> {
     for key in keys {
         if !matches!(
             key.as_str(),
-            "workload" | "fir" | "mesh" | "seed" | "attackers" | "class"
+            "workload" | "fir" | "mesh" | "topology" | "attack" | "seed" | "attackers" | "class"
         ) {
             return Err(SpecError::new(format!(
-                "unknown report.group_by key `{key}` (expected workload/fir/mesh/seed/attackers/class)"
+                "unknown report.group_by key `{key}` (expected \
+                 workload/fir/mesh/topology/attack/seed/attackers/class)"
             )));
         }
     }
     Ok(())
+}
+
+/// One resolved attack-family axis value of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackAxis {
+    /// Flooding DoS: the catalog's single-/dual-attacker placements at the
+    /// grid FIR.
+    Fdos,
+    /// Coordinated distributed DoS: `sources` attackers taking round-robin
+    /// turns, sharing the grid FIR as an aggregate rate.
+    Ddos {
+        /// Number of coordinated sources per placement.
+        sources: usize,
+    },
+    /// Duty-cycled ramp-up flooding that stays under the per-window FIR
+    /// threshold.
+    Stealth,
+}
+
+impl AttackAxis {
+    /// The canonical spec-axis name (`"fdos"`, `"ddos2"`, `"stealth"`).
+    pub fn name(&self) -> String {
+        match self {
+            AttackAxis::Fdos => "fdos".to_string(),
+            AttackAxis::Ddos { sources } => format!("ddos{sources}"),
+            AttackAxis::Stealth => "stealth".to_string(),
+        }
+    }
+
+    /// The traffic-layer attack family this axis value selects.
+    pub fn kind(&self) -> AttackKind {
+        match self {
+            AttackAxis::Fdos => AttackKind::Fdos,
+            AttackAxis::Ddos { .. } => AttackKind::Ddos,
+            AttackAxis::Stealth => AttackKind::Stealth,
+        }
+    }
+}
+
+/// Parses an attack-family axis name: `"fdos"`, `"stealth"`, or
+/// `"ddos<k>"` with `k >= 2` coordinated sources (`"ddos"` alone means
+/// `"ddos2"`).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] listing the valid families when `name` is
+/// unknown or the source count is below 2.
+pub fn parse_attack(name: &str) -> Result<AttackAxis, SpecError> {
+    let canonical = name.trim().to_ascii_lowercase();
+    match canonical.as_str() {
+        "fdos" => return Ok(AttackAxis::Fdos),
+        "stealth" => return Ok(AttackAxis::Stealth),
+        _ => {}
+    }
+    if let Some(rest) = canonical.strip_prefix("ddos") {
+        let sources: usize = if rest.is_empty() {
+            2
+        } else {
+            rest.parse().map_err(|_| {
+                SpecError::new(format!(
+                    "unknown attack family `{name}` (expected fdos, ddos<k>, stealth)"
+                ))
+            })?
+        };
+        if sources < 2 {
+            return Err(SpecError::new(format!(
+                "distributed attack `{name}` needs at least 2 sources"
+            )));
+        }
+        return Ok(AttackAxis::Ddos { sources });
+    }
+    Err(SpecError::new(format!(
+        "unknown attack family `{name}` (expected fdos, ddos<k>, stealth)"
+    )))
 }
 
 /// Resolves a workload name (`"uniform"`, `"tornado"`, `"shuffle"`,
@@ -420,7 +575,9 @@ mod tests {
     fn toml_spec_parses_and_validates() {
         let spec = CampaignSpec::from_toml(SPEC).unwrap();
         assert_eq!(spec.name, "demo");
-        assert_eq!(spec.grid.mesh, vec![4, 8]);
+        // Legacy mesh sides normalize into the topology axis at load time.
+        assert_eq!(spec.grid.topology, vec!["mesh4", "mesh8"]);
+        assert!(spec.grid.mesh.is_empty());
         assert_eq!(spec.grid.seeds, vec![1, 2]);
         assert_eq!(spec.sim.sample_period, 200);
         assert!(!spec.eval.enabled);
@@ -465,9 +622,84 @@ mod tests {
     }
 
     #[test]
+    fn topology_and_attack_axes_resolve() {
+        let spec = CampaignSpec::from_toml(
+            "name = \"axes\"\n[grid]\ntopology = [\"torus4\", \"ring2x8\", \"mesh4x8\"]\n\
+             attack = [\"fdos\", \"ddos2\", \"stealth\"]\n",
+        )
+        .unwrap();
+        let topologies = spec.resolved_topologies().unwrap();
+        assert_eq!(
+            topologies.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            vec!["torus4", "ring2x8", "mesh4x8"]
+        );
+        assert_eq!(
+            spec.resolved_attacks().unwrap(),
+            vec![
+                AttackAxis::Fdos,
+                AttackAxis::Ddos { sources: 2 },
+                AttackAxis::Stealth
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_axes_default_to_mesh8_fdos() {
+        let spec = CampaignSpec::quick("defaults");
+        let topologies = spec.resolved_topologies().unwrap();
+        assert_eq!(topologies.len(), 1);
+        assert_eq!(topologies[0].name(), "mesh8");
+        assert_eq!(spec.resolved_attacks().unwrap(), vec![AttackAxis::Fdos]);
+    }
+
+    #[test]
+    fn both_mesh_and_topology_are_refused() {
+        let err = CampaignSpec::from_toml(
+            "name = \"both\"\n[grid]\nmesh = [4]\ntopology = [\"torus4\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn attack_axis_names_parse_and_round_trip() {
+        assert_eq!(parse_attack("fdos").unwrap(), AttackAxis::Fdos);
+        assert_eq!(parse_attack("stealth").unwrap(), AttackAxis::Stealth);
+        assert_eq!(
+            parse_attack("ddos4").unwrap(),
+            AttackAxis::Ddos { sources: 4 }
+        );
+        assert_eq!(
+            parse_attack("ddos").unwrap(),
+            AttackAxis::Ddos { sources: 2 }
+        );
+        for axis in [
+            AttackAxis::Fdos,
+            AttackAxis::Ddos { sources: 3 },
+            AttackAxis::Stealth,
+        ] {
+            assert_eq!(parse_attack(&axis.name()).unwrap(), axis);
+        }
+        assert!(parse_attack("ddos1").is_err());
+        assert!(parse_attack("teardrop").is_err());
+    }
+
+    #[test]
     fn invalid_specs_are_rejected() {
         let mut spec = CampaignSpec::quick("bad");
         spec.grid.fir = vec![1.5];
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::quick("bad");
+        spec.grid.topology = vec!["hypercube4".into()];
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::quick("bad");
+        spec.grid.topology = vec!["mesh1".into()];
+        assert!(spec.validate().is_err(), "sub-2x2 topologies are rejected");
+
+        let mut spec = CampaignSpec::quick("bad");
+        spec.grid.attack = vec!["smurf".into()];
         assert!(spec.validate().is_err());
 
         let mut spec = CampaignSpec::quick("bad");

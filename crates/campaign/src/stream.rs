@@ -31,6 +31,7 @@ use crate::grid::{self, RunSpec};
 use crate::report::{CampaignReport, ReportAccumulator};
 use crate::spec::{CampaignSpec, SpecError};
 use crate::spill::SampleStore;
+use dl2fence_telemetry::schema::MANIFEST_SCHEMA;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead as _, BufReader, Read as _, Seek as _, SeekFrom, Write as _};
@@ -128,6 +129,10 @@ impl ShardSlice {
 /// resume the campaign with no other input.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Manifest {
+    /// Schema identifier ([`MANIFEST_SCHEMA`]); empty in manifests written
+    /// before the tag existed, which stay loadable.
+    #[serde(default)]
+    pub schema: String,
     /// Campaign name (duplicated from the spec for quick inspection).
     pub name: String,
     /// [`spec_fingerprint`] of the embedded spec.
@@ -154,6 +159,7 @@ impl Default for Manifest {
     /// a default manifest never validates (empty fingerprint).
     fn default() -> Self {
         Manifest {
+            schema: String::new(),
             name: String::new(),
             fingerprint: String::new(),
             total_runs: 0,
@@ -291,6 +297,7 @@ impl CampaignDir {
         std::fs::create_dir_all(&root)
             .map_err(|e| SpecError::new(format!("cannot create {}: {e}", root.display())))?;
         let manifest = Manifest {
+            schema: MANIFEST_SCHEMA.to_string(),
             name: spec.name.clone(),
             fingerprint: spec_fingerprint(spec),
             total_runs,
@@ -361,6 +368,15 @@ impl CampaignDir {
             .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
         let manifest: Manifest = serde_json::from_str(&text)
             .map_err(|e| SpecError::new(format!("malformed manifest {}: {e}", path.display())))?;
+        // Pre-tag manifests carry an empty schema and load fine; anything
+        // else must match exactly — a future v2 is not silently readable.
+        if !manifest.schema.is_empty() && manifest.schema != MANIFEST_SCHEMA {
+            return Err(SpecError::new(format!(
+                "{} declares schema `{}` but this build reads `{MANIFEST_SCHEMA}`",
+                path.display(),
+                manifest.schema
+            )));
+        }
         let expected = spec_fingerprint(&manifest.spec);
         if manifest.fingerprint != expected {
             return Err(SpecError::new(format!(

@@ -15,7 +15,8 @@ fn table1_quick_shrunk() -> CampaignSpec {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/table1_quick.toml");
     let mut spec = CampaignSpec::from_path(std::path::Path::new(path)).unwrap();
     assert!(spec.eval.enabled, "table1_quick must enable the eval phase");
-    spec.grid.mesh = vec![4];
+    // Loading normalized the file's legacy mesh axis into `topology`.
+    spec.grid.topology = vec!["mesh4".into()];
     spec.grid.workloads = vec!["uniform".into(), "x264".into()];
     spec.grid.attack_placements = 2;
     spec.grid.benign_runs = 1;

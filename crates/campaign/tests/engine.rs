@@ -86,8 +86,9 @@ fn four_worker_campaign_matches_serial_byte_for_byte() {
 #[test]
 fn report_json_survives_a_round_trip() {
     let mut spec = CampaignSpec::from_toml(SWEEP_SPEC).unwrap();
-    // Shrink for speed: one mesh, no eval.
-    spec.grid.mesh = vec![4];
+    // Shrink for speed: one mesh, no eval. (Loading normalized the legacy
+    // mesh axis into `topology`.)
+    spec.grid.topology = vec!["mesh4".into()];
     spec.eval.enabled = false;
     spec.sim.collect_samples = false;
     let outcome = Executor::new(2).execute(&spec).unwrap();

@@ -26,7 +26,16 @@ const WORKLOADS: [&str; 6] = [
     "blackscholes",
     "x264",
 ];
-const GROUP_KEYS: [&str; 6] = ["workload", "fir", "mesh", "seed", "attackers", "class"];
+const GROUP_KEYS: [&str; 8] = [
+    "workload",
+    "fir",
+    "mesh",
+    "seed",
+    "attackers",
+    "class",
+    "topology",
+    "attack",
+];
 
 /// Builds a valid spec from drawn raw values (the strategy surface the
 /// proptest shim offers is integer/float ranges, so enumerations are picked
@@ -45,10 +54,23 @@ fn build_spec(
     key_i: usize,
 ) -> CampaignSpec {
     let mut spec = CampaignSpec::quick(format!("prop-{seed}"));
-    spec.grid.mesh = if mesh_a == mesh_b {
-        vec![mesh_a]
+    // Topology family and attack mix derive from the existing draws so the
+    // property sweeps all three families and all attack axes for free.
+    let kind = ["mesh", "torus", "ring"][(mesh_a + mesh_b) % 3];
+    spec.grid.topology = if mesh_a == mesh_b {
+        vec![format!("{kind}{mesh_a}")]
     } else {
-        vec![mesh_a, mesh_b]
+        vec![format!("{kind}{mesh_a}"), format!("{kind}{mesh_b}")]
+    };
+    spec.grid.attack = match fir_pct % 4 {
+        0 => vec![],
+        1 => vec!["ddos2".to_string()],
+        2 => vec!["stealth".to_string()],
+        _ => vec![
+            "fdos".to_string(),
+            "ddos3".to_string(),
+            "stealth".to_string(),
+        ],
     };
     spec.grid.fir = vec![fir_pct as f64 / 100.0];
     spec.grid.workloads = if workload_i == workload_j {
@@ -70,7 +92,13 @@ fn build_spec(
 /// Renders the drawn grid as TOML (there is no TOML serializer in the
 /// offline shim set, so the round-trip is text → spec → JSON → spec).
 fn spec_toml(spec: &CampaignSpec) -> String {
-    let mesh: Vec<String> = spec.grid.mesh.iter().map(|m| m.to_string()).collect();
+    let topology: Vec<String> = spec
+        .grid
+        .topology
+        .iter()
+        .map(|t| format!("{t:?}"))
+        .collect();
+    let attack: Vec<String> = spec.grid.attack.iter().map(|a| format!("{a:?}")).collect();
     let workloads: Vec<String> = spec
         .grid
         .workloads
@@ -78,11 +106,12 @@ fn spec_toml(spec: &CampaignSpec) -> String {
         .map(|w| format!("{w:?}"))
         .collect();
     format!(
-        "name = {:?}\n[grid]\nmesh = [{}]\nfir = [{}]\nworkloads = [{}]\n\
+        "name = {:?}\n[grid]\ntopology = [{}]\nattack = [{}]\nfir = [{}]\nworkloads = [{}]\n\
          attack_placements = {}\nbenign_runs = {}\nseeds = [{}]\ninjection_rate = {}\n\
          [report]\ngroup_by = [{:?}]\n",
         spec.name,
-        mesh.join(", "),
+        topology.join(", "),
+        attack.join(", "),
         spec.grid.fir[0],
         workloads.join(", "),
         spec.grid.attack_placements,
@@ -205,7 +234,7 @@ proptest! {
         benign in 0usize..4,
         seed in 0u64..1_000_000_000_000,
         inj_ppm in 1u64..200_000,
-        key_i in 0usize..6,
+        key_i in 0usize..8,
     ) {
         let spec = build_spec(
             mesh_a, mesh_b, fir_pct, workload_i, workload_j, placements,

@@ -149,7 +149,8 @@ fn parallel_eval_on_pool_matches_serial_eval_for_table1_quick() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/table1_quick.toml");
     let mut spec = CampaignSpec::from_path(std::path::Path::new(path)).unwrap();
     assert!(spec.eval.enabled, "table1_quick must enable the eval phase");
-    spec.grid.mesh = vec![4, 8];
+    // Loading normalized the file's legacy mesh axis into `topology`.
+    spec.grid.topology = vec!["mesh4".into(), "mesh8".into()];
     spec.grid.workloads = vec!["uniform".into(), "x264".into()];
     spec.grid.attack_placements = 2;
     spec.grid.benign_runs = 1;

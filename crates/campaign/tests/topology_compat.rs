@@ -1,0 +1,129 @@
+//! Backward-compatibility proof for the topology axis redesign: a legacy
+//! `grid.mesh = [N]` spec and its `grid.topology = ["meshN"]` rewrite are
+//! the same campaign — equal in-memory specs, equal fingerprints, and
+//! byte-identical reports — while the new torus/ring topologies and
+//! distributed/stealthy attack families execute end to end.
+
+use dl2fence_campaign::{expand, spec_fingerprint, CampaignReport, CampaignSpec, Executor};
+
+/// Shared body for the legacy/rewrite pair: everything but the `[grid]`
+/// topology axis line.
+fn spec_with_grid_axis(axis_line: &str) -> String {
+    format!(
+        r#"
+name = "compat"
+
+[sim]
+warmup_cycles = 100
+sample_period = 200
+samples_per_run = 2
+collect_samples = false
+
+[grid]
+{axis_line}
+fir = [0.6]
+workloads = ["uniform"]
+attack_placements = 2
+benign_runs = 1
+seeds = [7]
+
+[report]
+group_by = ["workload", "class"]
+"#
+    )
+}
+
+#[test]
+fn legacy_mesh_spec_and_topology_rewrite_are_the_same_campaign() {
+    let legacy = CampaignSpec::from_toml(&spec_with_grid_axis("mesh = [4]")).unwrap();
+    let rewrite = CampaignSpec::from_toml(&spec_with_grid_axis("topology = [\"mesh4\"]")).unwrap();
+
+    // Loading normalizes the deprecated axis away, so the two specs are the
+    // same value — which is what makes every downstream artifact identical.
+    assert_eq!(legacy, rewrite);
+    assert!(
+        legacy.grid.mesh.is_empty(),
+        "normalize must clear the alias"
+    );
+    assert_eq!(legacy.grid.topology, vec!["mesh4".to_string()]);
+
+    // Same fingerprint: streamed campaign directories started under the old
+    // spelling resume under the new one.
+    assert_eq!(spec_fingerprint(&legacy), spec_fingerprint(&rewrite));
+
+    // Same report, byte for byte.
+    let legacy_json = CampaignReport::build(&Executor::new(2).execute(&legacy).unwrap())
+        .unwrap()
+        .to_json();
+    let rewrite_json = CampaignReport::build(&Executor::new(2).execute(&rewrite).unwrap())
+        .unwrap()
+        .to_json();
+    assert_eq!(legacy_json, rewrite_json);
+}
+
+#[test]
+fn setting_both_axes_is_refused_with_a_migration_hint() {
+    let toml = spec_with_grid_axis("mesh = [4]\ntopology = [\"torus4\"]");
+    let err = CampaignSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(err.contains("mutually exclusive"), "got: {err}");
+    assert!(err.contains("mesh<N>"), "got: {err}");
+}
+
+#[test]
+fn torus_and_ring_campaigns_with_new_attack_families_execute_end_to_end() {
+    let mut spec =
+        CampaignSpec::from_toml(&spec_with_grid_axis("topology = [\"torus4\", \"ring2x8\"]"))
+            .unwrap();
+    spec.grid.attack = vec!["ddos2".into(), "stealth".into()];
+
+    let runs = expand(&spec).unwrap();
+    // topologies(2) × workloads(1) × (benign(1) + firs(1) × attacks(2) × placements(2))
+    assert_eq!(runs.len(), 2 * (1 + 2 * 2));
+    let outcome = Executor::new(2).execute(&spec).unwrap();
+    let report = CampaignReport::build(&outcome).unwrap();
+    assert_eq!(report.total_runs, runs.len());
+
+    // Every run simulated real traffic on its topology.
+    for run in &outcome.runs {
+        assert!(
+            run.metrics.packets_received > 0,
+            "run {} delivered nothing",
+            run.spec.index
+        );
+    }
+    // Distributed attacks place every source away from the victim.
+    for run in runs.iter().filter(|r| r.attack == "ddos2") {
+        assert_eq!(run.scenario.attackers.len(), 2);
+        assert!(!run.scenario.attackers.contains(&run.scenario.victim));
+    }
+    assert!(runs.iter().any(|r| r.attack == "stealth"));
+    assert!(runs.iter().any(|r| r.topology == "ring2x8" && r.mesh == 2));
+}
+
+#[test]
+fn topology_and_attack_group_axes_appear_in_the_report() {
+    let mut spec =
+        CampaignSpec::from_toml(&spec_with_grid_axis("topology = [\"torus4\"]")).unwrap();
+    spec.grid.attack = vec!["fdos".into(), "ddos3".into()];
+    spec.report.group_by = vec!["topology".into(), "attack".into()];
+
+    let outcome = Executor::new(2).execute(&spec).unwrap();
+    let report = CampaignReport::build(&outcome).unwrap();
+    let keys: Vec<String> = report
+        .groups
+        .iter()
+        .map(|g| {
+            g.key
+                .iter()
+                .map(|(_, v)| v.clone())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    for expected in ["torus4/none", "torus4/fdos", "torus4/ddos3"] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "missing {expected} in {keys:?}"
+        );
+    }
+}

@@ -9,11 +9,13 @@ use crate::frame::DirectionalFrames;
 use crate::label::GroundTruth;
 use crate::sampler::FrameSampler;
 use noc_sim::{NocConfig, NodeId};
-use noc_traffic::{AttackScenario, BenignWorkload, FloodingAttack};
+use noc_traffic::{
+    AttackKind, AttackScenario, BenignWorkload, DistributedAttack, FloodingAttack, StealthAttack,
+};
 use serde::{Deserialize, Serialize};
 
 /// One simulation run to collect samples from: a benign workload plus an
-/// optional flooding attack.
+/// optional DoS attack of any family.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// The benign workload.
@@ -22,8 +24,10 @@ pub struct ScenarioSpec {
     pub attackers: Vec<NodeId>,
     /// The target victim (ignored when `attackers` is empty).
     pub victim: NodeId,
-    /// The flooding injection rate.
+    /// The flooding injection rate (peak/aggregate, depending on `attack`).
     pub fir: f64,
+    /// Which attack family the attackers mount (ignored when benign).
+    pub attack: AttackKind,
 }
 
 impl ScenarioSpec {
@@ -34,6 +38,7 @@ impl ScenarioSpec {
             attackers: Vec::new(),
             victim: NodeId(0),
             fir: 0.0,
+            attack: AttackKind::Fdos,
         }
     }
 
@@ -49,7 +54,14 @@ impl ScenarioSpec {
             attackers,
             victim,
             fir,
+            attack: AttackKind::Fdos,
         }
+    }
+
+    /// Switches the attack family mounted by the attackers.
+    pub fn with_attack(mut self, attack: AttackKind) -> Self {
+        self.attack = attack;
+        self
     }
 
     /// Whether this run contains an attack.
@@ -63,11 +75,23 @@ impl ScenarioSpec {
             .workload(self.workload)
             .seed(seed);
         if self.is_attack() {
-            builder = builder.attack(FloodingAttack::new(
-                self.attackers.clone(),
-                self.victim,
-                self.fir,
-            ));
+            builder = match self.attack {
+                AttackKind::Fdos => builder.attack(FloodingAttack::new(
+                    self.attackers.clone(),
+                    self.victim,
+                    self.fir,
+                )),
+                AttackKind::Ddos => builder.attack(DistributedAttack::new(
+                    self.attackers.clone(),
+                    self.victim,
+                    self.fir,
+                )),
+                AttackKind::Stealth => builder.attack(StealthAttack::new(
+                    self.attackers.clone(),
+                    self.victim,
+                    self.fir,
+                )),
+            };
         }
         builder.build()
     }
@@ -215,6 +239,54 @@ pub fn attack_catalog(
     out
 }
 
+/// Deterministically generates `count` coordinated multi-source placements
+/// for a distributed DoS campaign: each placement spreads `sources`
+/// attackers across the topology around a strided victim (per the
+/// topology-aware distributed-DoS threat model of Weerasena et al. 2025).
+///
+/// Placements keep attackers distinct from each other and from the victim;
+/// on topologies with fewer than `sources + 1` nodes the source count is
+/// clamped.
+///
+/// # Panics
+///
+/// Panics if `sources` is zero or the topology has fewer than two nodes.
+pub fn distributed_catalog(
+    rows: usize,
+    cols: usize,
+    count: usize,
+    sources: usize,
+    fir: f64,
+) -> Vec<(Vec<NodeId>, NodeId, f64)> {
+    let n = rows * cols;
+    assert!(
+        sources > 0,
+        "a distributed attack needs at least one source"
+    );
+    assert!(
+        n >= 2,
+        "need at least two nodes for an attacker and a victim"
+    );
+    let k = sources.min(n - 1);
+    let stride = (n / (k + 1)).max(1);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let victim = NodeId((i * 37 + 5) % n);
+        let mut attackers: Vec<NodeId> = Vec::with_capacity(k);
+        let mut cursor = victim.0;
+        for j in 0..k {
+            cursor = (cursor + stride + i + j) % n;
+            // Probe past the victim and already-chosen sources.
+            while cursor == victim.0 || attackers.contains(&NodeId(cursor)) {
+                cursor = (cursor + 1) % n;
+            }
+            attackers.push(NodeId(cursor));
+        }
+        out.push((attackers, victim, fir));
+    }
+    out
+}
+
 /// Builds the full list of scenario specs for one benchmark: `attacks`
 /// attack placements plus `benign_runs` attack-free runs (needed so the
 /// detector sees both classes).
@@ -335,6 +407,47 @@ mod tests {
         for (attackers, victim, _) in attack_catalog(2, 2, 6, 0.5) {
             assert!(!attackers.contains(&victim));
             assert!(attackers.iter().all(|a| a.0 < 4));
+        }
+    }
+
+    #[test]
+    fn distributed_catalog_produces_valid_placements() {
+        let catalog = distributed_catalog(8, 8, 12, 4, 0.8);
+        assert_eq!(catalog.len(), 12);
+        for (attackers, victim, fir) in catalog {
+            assert_eq!(attackers.len(), 4);
+            assert!(!attackers.contains(&victim));
+            assert!(victim.0 < 64);
+            assert!(attackers.iter().all(|a| a.0 < 64));
+            let mut unique = attackers.clone();
+            unique.sort();
+            unique.dedup();
+            assert_eq!(unique.len(), attackers.len(), "sources must be distinct");
+            assert_eq!(fir, 0.8);
+        }
+    }
+
+    #[test]
+    fn distributed_catalog_clamps_sources_on_tiny_meshes() {
+        for (attackers, victim, _) in distributed_catalog(2, 2, 6, 8, 0.5) {
+            assert_eq!(attackers.len(), 3, "2x2 holds at most 3 sources");
+            assert!(!attackers.contains(&victim));
+            assert!(attackers.iter().all(|a| a.0 < 4));
+        }
+    }
+
+    #[test]
+    fn scenario_spec_dispatches_attack_families() {
+        let workload = BenignWorkload::Synthetic(SyntheticPattern::UniformRandom, 0.01);
+        let attackers = vec![NodeId(3), NodeId(12)];
+        for kind in [AttackKind::Fdos, AttackKind::Ddos, AttackKind::Stealth] {
+            let spec = ScenarioSpec::attacked(workload, attackers.clone(), NodeId(0), 0.8)
+                .with_attack(kind);
+            assert!(spec.is_attack());
+            let scenario = spec.build(NocConfig::mesh(4, 4), 7);
+            assert_eq!(scenario.attacks().len(), 1);
+            assert_eq!(scenario.attacks()[0].kind(), kind);
+            assert_eq!(scenario.attacker_nodes(), vec![NodeId(3), NodeId(12)]);
         }
     }
 }

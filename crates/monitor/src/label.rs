@@ -25,14 +25,14 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Builds the ground truth of a scenario.
     pub fn of_scenario(scenario: &AttackScenario) -> Self {
-        let mesh = scenario.network().mesh();
+        let topology = scenario.network().topology();
         GroundTruth {
             under_attack: scenario.is_under_attack(),
             attackers: scenario.attacker_nodes(),
             attack_pairs: scenario.attack_pairs(),
             victims: scenario.victim_nodes(),
-            rows: mesh.rows,
-            cols: mesh.cols,
+            rows: topology.rows(),
+            cols: topology.cols(),
         }
     }
 

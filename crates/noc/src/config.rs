@@ -1,9 +1,9 @@
 //! Simulator configuration.
 
-use crate::topology::Mesh;
+use crate::topology::{Topology, TopologyKind};
 use serde::{Deserialize, Serialize};
 
-/// Configuration of a mesh NoC simulation.
+/// Configuration of a NoC simulation.
 ///
 /// The defaults mirror the paper's Garnet setup: a single virtual network
 /// with a small number of VCs per input port, 5-flit packets and single-cycle
@@ -19,10 +19,13 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NocConfig {
-    /// Mesh rows.
+    /// Frame rows.
     pub rows: usize,
-    /// Mesh columns.
+    /// Frame columns.
     pub cols: usize,
+    /// Topology family the `rows × cols` nodes are wired into.
+    #[serde(default)]
+    pub topology: TopologyKind,
     /// Virtual channels per input port.
     pub vcs_per_port: usize,
     /// Buffer depth (flits) of each virtual channel.
@@ -46,10 +49,49 @@ impl NocConfig {
         NocConfig {
             rows,
             cols,
+            topology: TopologyKind::Mesh,
             vcs_per_port: 4,
             buffer_depth: 4,
             flits_per_packet: 5,
             injection_queue_capacity: 1024,
+        }
+    }
+
+    /// Creates a configuration for a `rows × cols` torus with default router
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2 (see [`Topology::torus`]).
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        let _ = Topology::torus(rows, cols);
+        NocConfig {
+            topology: TopologyKind::Torus,
+            ..NocConfig::mesh(rows, cols)
+        }
+    }
+
+    /// Creates a configuration for a ring over `rows × cols` nodes with
+    /// default router parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring would have fewer than 2 nodes (see
+    /// [`Topology::ring`]).
+    pub fn ring(rows: usize, cols: usize) -> Self {
+        let _ = Topology::ring(rows, cols);
+        NocConfig {
+            topology: TopologyKind::Ring,
+            ..NocConfig::mesh(rows, cols)
+        }
+    }
+
+    /// Creates a configuration for an explicit topology instance.
+    pub fn for_topology(topology: &Topology) -> Self {
+        match topology.kind() {
+            TopologyKind::Mesh => NocConfig::mesh(topology.rows(), topology.cols()),
+            TopologyKind::Torus => NocConfig::torus(topology.rows(), topology.cols()),
+            TopologyKind::Ring => NocConfig::ring(topology.rows(), topology.cols()),
         }
     }
 
@@ -92,14 +134,18 @@ impl NocConfig {
         self
     }
 
-    /// Number of nodes in the mesh.
+    /// Number of nodes in the topology.
     pub fn node_count(&self) -> usize {
         self.rows * self.cols
     }
 
-    /// The mesh topology descriptor.
-    pub fn topology(&self) -> Mesh {
-        Mesh::new(self.rows, self.cols)
+    /// The topology descriptor this configuration describes.
+    pub fn topology(&self) -> Topology {
+        match self.topology {
+            TopologyKind::Mesh => Topology::mesh(self.rows, self.cols),
+            TopologyKind::Torus => Topology::torus(self.rows, self.cols),
+            TopologyKind::Ring => Topology::ring(self.rows, self.cols),
+        }
     }
 }
 
@@ -135,9 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn topology_ctors_set_kind() {
+        assert_eq!(NocConfig::mesh(4, 4).topology(), Topology::mesh(4, 4));
+        assert_eq!(NocConfig::torus(4, 4).topology(), Topology::torus(4, 4));
+        assert_eq!(NocConfig::ring(4, 4).topology(), Topology::ring(4, 4));
+        let t = Topology::torus(2, 8);
+        assert_eq!(NocConfig::for_topology(&t).topology(), t);
+    }
+
+    #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_rows_panics() {
         NocConfig::mesh(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_torus_panics() {
+        NocConfig::torus(1, 4);
     }
 
     #[test]

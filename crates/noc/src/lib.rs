@@ -1,13 +1,16 @@
-//! # noc-sim — a flit-level 2D-mesh Network-on-Chip simulator
+//! # noc-sim — a flit-level Network-on-Chip simulator
 //!
 //! This crate is the substrate the DL2Fence reproduction runs on. It plays
-//! the role Garnet (inside gem5) plays in the paper: a cycle-level model of a
-//! 2-D mesh NoC with
+//! the role Garnet (inside gem5) plays in the paper: a cycle-level model of
+//! a NoC — a 2-D mesh, a 2-D torus with wraparound links, or a
+//! routerless-style ring (see [`Topology`]) — with
 //!
 //! * wormhole switching with **virtual channels** (VCs),
 //! * **credit-based flow control** (a flit only advances when the downstream
 //!   buffer has a free slot),
-//! * deterministic **XY dimension-order routing**,
+//! * deterministic **minimal routing** (XY dimension-order on the mesh;
+//!   shortest-way-around dimension-order on torus/ring, with wrap hops
+//!   confined to the upper VC class to stay deadlock-free),
 //! * per-input-port **buffer operation counters** (BOC) and instantaneous
 //!   **virtual-channel occupancy** (VCO) — the two features DL2Fence samples,
 //! * packet/flit latency accounting split into queueing and network
@@ -51,4 +54,4 @@ pub use power::{EnergyModel, EnergyReport};
 pub use router::Router;
 pub use routing::{route_path, xy_next_hop};
 pub use stats::{LatencyStats, NetworkStats};
-pub use topology::{Coord, Direction, Mesh, NodeId};
+pub use topology::{Coord, Direction, Mesh, NodeId, Topology, TopologyError, TopologyKind};

@@ -1,15 +1,17 @@
-//! The mesh router model.
+//! The router model.
 
 use crate::config::NocConfig;
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::topology::{Direction, NodeId, Topology};
 use crate::vc::InputPort;
 
-/// A single mesh router with up to five input ports (E, N, W, S, Local).
+/// A single router with up to five input ports (E, N, W, S, Local).
 ///
-/// Edge and corner routers omit the ports that have no neighbour, exactly as
+/// Routers only instantiate the ports their topology gives them a link for:
+/// mesh edge and corner routers omit the outward-facing ports, exactly as
 /// the paper notes ("routers on the edges lack external NoC input ports"),
 /// which is why DL2Fence's directional feature frames are `R × (R−1)`
-/// matrices rather than `R × R`.
+/// matrices rather than `R × R`. Torus routers have all five ports; ring
+/// routers only East, West and Local.
 #[derive(Debug, Clone)]
 pub struct Router {
     id: NodeId,
@@ -17,13 +19,12 @@ pub struct Router {
 }
 
 impl Router {
-    /// Builds the router for node `id` of the mesh described by `config`,
-    /// instantiating only the input ports that have a neighbour (plus the
-    /// local port).
-    pub fn new(id: NodeId, config: &NocConfig, mesh: &Mesh) -> Self {
+    /// Builds the router for node `id` of `topology`, instantiating only
+    /// the input ports that have a neighbour (plus the local port).
+    pub fn new(id: NodeId, config: &NocConfig, topology: &Topology) -> Self {
         let mut ports: [Option<InputPort>; 5] = [None, None, None, None, None];
         for dir in Direction::ALL {
-            if mesh.has_input_port(id, dir) {
+            if topology.has_input_port(id, dir) {
                 ports[dir.index()] = Some(InputPort::new(
                     dir,
                     config.vcs_per_port,
@@ -95,7 +96,7 @@ impl Router {
 mod tests {
     use super::*;
 
-    fn mesh4() -> (NocConfig, Mesh) {
+    fn mesh4() -> (NocConfig, Topology) {
         let cfg = NocConfig::mesh(4, 4);
         let mesh = cfg.topology();
         (cfg, mesh)
@@ -119,6 +120,26 @@ mod tests {
         let (cfg, mesh) = mesh4();
         let r = Router::new(NodeId(5), &cfg, &mesh);
         assert_eq!(r.port_count(), 5);
+    }
+
+    #[test]
+    fn torus_corner_router_has_five_ports() {
+        let cfg = NocConfig::torus(4, 4);
+        let topo = cfg.topology();
+        let r = Router::new(NodeId(0), &cfg, &topo);
+        assert_eq!(r.port_count(), 5);
+    }
+
+    #[test]
+    fn ring_router_has_three_ports() {
+        let cfg = NocConfig::ring(4, 4);
+        let topo = cfg.topology();
+        let r = Router::new(NodeId(7), &cfg, &topo);
+        assert_eq!(r.port_count(), 3);
+        assert!(r.input_port(Direction::East).is_some());
+        assert!(r.input_port(Direction::West).is_some());
+        assert!(r.input_port(Direction::North).is_none());
+        assert!(r.input_port(Direction::South).is_none());
     }
 
     #[test]

@@ -251,6 +251,464 @@ impl Mesh {
     }
 }
 
+/// Error returned by the fallible [`Topology`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node id that does not exist in the topology.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes the topology actually has.
+        node_count: usize,
+    },
+    /// A topology name that [`Topology::parse`] could not understand.
+    UnknownName(String),
+    /// Dimensions that are invalid for the requested topology family
+    /// (zero-sized, or wraparound over fewer than two nodes per dimension).
+    InvalidDims {
+        /// The topology family.
+        kind: TopologyKind,
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, node_count } => {
+                write!(f, "{node} outside the {node_count}-node topology")
+            }
+            TopologyError::UnknownName(s) => {
+                write!(
+                    f,
+                    "unknown topology {s:?} (expected e.g. \"mesh4\", \"torus4\", \"ring4\")"
+                )
+            }
+            TopologyError::InvalidDims { kind, rows, cols } => {
+                write!(
+                    f,
+                    "invalid dimensions {rows}x{cols} for a {} topology",
+                    kind.name()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The topology family of a NoC instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// 2-D mesh — edge routers lack the outward-facing ports.
+    #[default]
+    Mesh,
+    /// 2-D torus — every row and column closes into a ring through
+    /// wraparound links, so all routers have all five ports.
+    Torus,
+    /// Routerless-style bidirectional ring over the row-major node order —
+    /// routers only have East/West/Local ports.
+    Ring,
+}
+
+impl TopologyKind {
+    /// The lowercase family name used in spec axes (`"mesh"`, `"torus"`,
+    /// `"ring"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+            TopologyKind::Ring => "ring",
+        }
+    }
+}
+
+/// A NoC topology: node enumeration, coordinates, neighbour/port maps and
+/// deadlock-free minimal routing, dispatched over the supported families.
+///
+/// This is the type threaded through the simulator, the traffic layer and
+/// the monitor in place of the concrete [`Mesh`] struct. The mesh variant
+/// delegates to [`Mesh`] and [`crate::routing::xy_next_hop`] unchanged, so
+/// mesh behaviour is bit-identical to the original implementation.
+///
+/// Out-of-range nodes surface as `Option`/[`Result`] values; the panicking
+/// forms are kept as documented `*_unchecked` internals.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::{Direction, NodeId, Topology};
+///
+/// let torus = Topology::parse("torus4").unwrap();
+/// // Wraparound: the East neighbour of the east edge is the west edge.
+/// assert_eq!(torus.neighbor(NodeId(3), Direction::East), Some(NodeId(0)));
+/// // Minimal routing takes the wrap link when it is shorter.
+/// assert_eq!(torus.route_path(NodeId(0), NodeId(3)).unwrap(),
+///            vec![NodeId(0), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// A rectangular 2-D mesh.
+    Mesh(Mesh),
+    /// A 2-D torus with wraparound links in both dimensions.
+    Torus {
+        /// Number of rows (must be ≥ 2 so wrap links are distinct).
+        rows: usize,
+        /// Number of columns (must be ≥ 2).
+        cols: usize,
+    },
+    /// A bidirectional ring over the row-major node order. `rows`/`cols`
+    /// are retained as the frame geometry the monitor samples into.
+    Ring {
+        /// Frame rows.
+        rows: usize,
+        /// Frame columns.
+        cols: usize,
+    },
+}
+
+impl Topology {
+    /// Creates a mesh topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (see [`Mesh::new`]).
+    pub fn mesh(rows: usize, cols: usize) -> Self {
+        Topology::Mesh(Mesh::new(rows, cols))
+    }
+
+    /// Creates a torus topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2 (wraparound links would
+    /// degenerate into self-loops).
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows >= 2 && cols >= 2,
+            "torus dimensions must be at least 2x2, got {rows}x{cols}"
+        );
+        Topology::Torus { rows, cols }
+    }
+
+    /// Creates a ring topology over `rows * cols` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring would have fewer than two nodes.
+    pub fn ring(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && rows * cols >= 2,
+            "ring needs at least 2 nodes, got {rows}x{cols}"
+        );
+        Topology::Ring { rows, cols }
+    }
+
+    /// Parses a spec-axis topology name: a family prefix followed by a
+    /// square side (`"mesh4"`, `"torus8"`, `"ring4"`) or explicit
+    /// `rows x cols` dims (`"mesh4x8"`).
+    pub fn parse(name: &str) -> Result<Self, TopologyError> {
+        let trimmed = name.trim();
+        let kinds = [
+            ("torus", TopologyKind::Torus),
+            ("mesh", TopologyKind::Mesh),
+            ("ring", TopologyKind::Ring),
+        ];
+        for (prefix, kind) in kinds {
+            if let Some(rest) = trimmed.strip_prefix(prefix) {
+                let (rows, cols) = match rest.split_once('x') {
+                    Some((r, c)) => match (r.parse::<usize>(), c.parse::<usize>()) {
+                        (Ok(r), Ok(c)) => (r, c),
+                        _ => return Err(TopologyError::UnknownName(name.to_string())),
+                    },
+                    None => match rest.parse::<usize>() {
+                        Ok(n) => (n, n),
+                        Err(_) => return Err(TopologyError::UnknownName(name.to_string())),
+                    },
+                };
+                let valid = match kind {
+                    TopologyKind::Mesh => rows > 0 && cols > 0,
+                    TopologyKind::Torus => rows >= 2 && cols >= 2,
+                    TopologyKind::Ring => rows > 0 && cols > 0 && rows * cols >= 2,
+                };
+                if !valid {
+                    return Err(TopologyError::InvalidDims { kind, rows, cols });
+                }
+                return Ok(match kind {
+                    TopologyKind::Mesh => Topology::mesh(rows, cols),
+                    TopologyKind::Torus => Topology::torus(rows, cols),
+                    TopologyKind::Ring => Topology::ring(rows, cols),
+                });
+            }
+        }
+        Err(TopologyError::UnknownName(name.to_string()))
+    }
+
+    /// The spec-axis name of this topology (`"mesh4"`, `"torus4x8"`, ...).
+    /// Round-trips through [`Topology::parse`].
+    pub fn name(&self) -> String {
+        let (rows, cols) = (self.rows(), self.cols());
+        if rows == cols {
+            format!("{}{rows}", self.kind().name())
+        } else {
+            format!("{}{rows}x{cols}", self.kind().name())
+        }
+    }
+
+    /// The topology family.
+    pub fn kind(&self) -> TopologyKind {
+        match self {
+            Topology::Mesh(_) => TopologyKind::Mesh,
+            Topology::Torus { .. } => TopologyKind::Torus,
+            Topology::Ring { .. } => TopologyKind::Ring,
+        }
+    }
+
+    /// Frame rows (the monitor's sampling geometry).
+    pub fn rows(&self) -> usize {
+        match self {
+            Topology::Mesh(m) => m.rows,
+            Topology::Torus { rows, .. } | Topology::Ring { rows, .. } => *rows,
+        }
+    }
+
+    /// Frame columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            Topology::Mesh(m) => m.cols,
+            Topology::Torus { cols, .. } | Topology::Ring { cols, .. } => *cols,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Returns `true` if `id` is a valid node of this topology.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.0 < self.node_count()
+    }
+
+    /// The coordinate of a node, or `None` if the node is out of range.
+    pub fn coord(&self, id: NodeId) -> Option<Coord> {
+        if self.contains(id) {
+            Some(Coord::from_id(id, self.cols()))
+        } else {
+            None
+        }
+    }
+
+    /// The coordinate of a node.
+    ///
+    /// Internal panicking form of [`Topology::coord`] for hot paths that
+    /// have already validated the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn coord_unchecked(&self, id: NodeId) -> Coord {
+        self.coord(id).unwrap_or_else(|| {
+            panic!(
+                "node {id} outside {}x{} {}",
+                self.rows(),
+                self.cols(),
+                self.kind().name()
+            )
+        })
+    }
+
+    /// The neighbour of `id` in direction `dir`, or `None` when there is no
+    /// link that way (mesh edge, non-ring direction, `Local`, or an
+    /// out-of-range node).
+    pub fn neighbor(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
+        if !self.contains(id) {
+            return None;
+        }
+        match self {
+            Topology::Mesh(m) => m.neighbor(id, dir),
+            Topology::Torus { rows, cols } => {
+                let c = Coord::from_id(id, *cols);
+                let n = match dir {
+                    Direction::East => Coord::new((c.x + 1) % cols, c.y),
+                    Direction::West => Coord::new((c.x + cols - 1) % cols, c.y),
+                    Direction::North => Coord::new(c.x, (c.y + 1) % rows),
+                    Direction::South => Coord::new(c.x, (c.y + rows - 1) % rows),
+                    Direction::Local => return None,
+                };
+                Some(n.to_id(*cols))
+            }
+            Topology::Ring { .. } => {
+                let n = self.node_count();
+                match dir {
+                    Direction::East => Some(NodeId((id.0 + 1) % n)),
+                    Direction::West => Some(NodeId((id.0 + n - 1) % n)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Whether the router at `id` has an input port from direction `dir`.
+    pub fn has_input_port(&self, id: NodeId, dir: Direction) -> bool {
+        dir == Direction::Local || self.neighbor(id, dir).is_some()
+    }
+
+    /// Whether stepping from `id` in direction `dir` traverses a wraparound
+    /// link. Always `false` on a mesh. Wrap hops are the dateline the
+    /// simulator's VC allocation keys on to break cyclic channel
+    /// dependencies.
+    pub fn is_wrap_link(&self, id: NodeId, dir: Direction) -> bool {
+        if !self.contains(id) {
+            return false;
+        }
+        match self {
+            Topology::Mesh(_) => false,
+            Topology::Torus { rows, cols } => {
+                let c = Coord::from_id(id, *cols);
+                match dir {
+                    Direction::East => c.x + 1 == *cols,
+                    Direction::West => c.x == 0,
+                    Direction::North => c.y + 1 == *rows,
+                    Direction::South => c.y == 0,
+                    Direction::Local => false,
+                }
+            }
+            Topology::Ring { .. } => {
+                let n = self.node_count();
+                match dir {
+                    Direction::East => id.0 + 1 == n,
+                    Direction::West => id.0 == 0,
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// The output direction a router at `current` chooses for a flit
+    /// destined to `dst` under this topology's deterministic minimal
+    /// routing. Returns [`Direction::Local`] when `current == dst`.
+    ///
+    /// * Mesh: XY dimension-order routing — exactly
+    ///   [`crate::routing::xy_next_hop`].
+    /// * Torus: dimension-order routing that picks the shorter way around
+    ///   each ring (ties break East/North).
+    /// * Ring: the shorter way around the ring (ties break East).
+    pub fn next_hop(&self, current: NodeId, dst: NodeId) -> Direction {
+        match self {
+            Topology::Mesh(m) => crate::routing::xy_next_hop(current, dst, m.cols),
+            Topology::Torus { rows, cols } => {
+                let c = Coord::from_id(current, *cols);
+                let d = Coord::from_id(dst, *cols);
+                if c.x != d.x {
+                    let east = (d.x + cols - c.x) % cols;
+                    let west = (c.x + cols - d.x) % cols;
+                    if east <= west {
+                        Direction::East
+                    } else {
+                        Direction::West
+                    }
+                } else if c.y != d.y {
+                    let north = (d.y + rows - c.y) % rows;
+                    let south = (c.y + rows - d.y) % rows;
+                    if north <= south {
+                        Direction::North
+                    } else {
+                        Direction::South
+                    }
+                } else {
+                    Direction::Local
+                }
+            }
+            Topology::Ring { .. } => {
+                let n = self.node_count();
+                let fwd = (dst.0 + n - current.0) % n;
+                let back = (current.0 + n - dst.0) % n;
+                if fwd == 0 {
+                    Direction::Local
+                } else if fwd <= back {
+                    Direction::East
+                } else {
+                    Direction::West
+                }
+            }
+        }
+    }
+
+    /// The minimal hop distance between two nodes, or `None` if either is
+    /// out of range.
+    pub fn min_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let ca = self.coord(a)?;
+        let cb = self.coord(b)?;
+        Some(match self {
+            Topology::Mesh(_) => ca.manhattan(cb),
+            Topology::Torus { rows, cols } => {
+                let dx = ca.x.abs_diff(cb.x);
+                let dy = ca.y.abs_diff(cb.y);
+                dx.min(cols - dx) + dy.min(rows - dy)
+            }
+            Topology::Ring { .. } => {
+                let n = self.node_count();
+                let d = a.0.abs_diff(b.0);
+                d.min(n - d)
+            }
+        })
+    }
+
+    /// The full minimal route from `src` to `dst` (inclusive of both
+    /// endpoints) under [`Topology::next_hop`], or an error when either
+    /// endpoint is out of range.
+    ///
+    /// On the mesh variant this is exactly [`crate::routing::route_path`] —
+    /// the set of nodes the paper calls *routing-path victims* when `src`
+    /// is an attacker and `dst` the target victim.
+    pub fn route_path(&self, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        for node in [src, dst] {
+            if !self.contains(node) {
+                return Err(TopologyError::NodeOutOfRange {
+                    node,
+                    node_count: self.node_count(),
+                });
+            }
+        }
+        let mut path = vec![src];
+        let mut current = src;
+        while current != dst {
+            let dir = self.next_hop(current, dst);
+            current = self
+                .neighbor(current, dir)
+                .expect("minimal routing never points off the topology");
+            path.push(current);
+        }
+        Ok(path)
+    }
+
+    /// Internal panicking form of [`Topology::route_path`] for callers that
+    /// have already validated both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn route_path_unchecked(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        self.route_path(src, dst)
+            .unwrap_or_else(|e| panic!("route_path_unchecked: {e}"))
+    }
+
+    /// Iterates over all node ids in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +811,193 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn coord_of_invalid_node_panics() {
         Mesh::new(2, 2).coord(NodeId(4));
+    }
+
+    #[test]
+    fn topology_parse_round_trips() {
+        for name in ["mesh4", "mesh8", "torus4", "ring4", "mesh4x8", "torus2x16"] {
+            let t = Topology::parse(name).unwrap();
+            assert_eq!(t.name(), name, "parse/name round trip for {name}");
+            assert_eq!(Topology::parse(&t.name()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn topology_parse_rejects_garbage() {
+        for name in [
+            "",
+            "mesh",
+            "mesh0",
+            "torus1",
+            "ring1x1",
+            "hypercube4",
+            "mesh4x",
+            "4mesh",
+        ] {
+            assert!(Topology::parse(name).is_err(), "{name:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn mesh_variant_matches_mesh_struct() {
+        let mesh = Mesh::new(4, 4);
+        let topo = Topology::mesh(4, 4);
+        for id in mesh.nodes() {
+            assert_eq!(topo.coord(id), Some(mesh.coord(id)));
+            for dir in Direction::ALL {
+                assert_eq!(topo.neighbor(id, dir), mesh.neighbor(id, dir));
+                assert_eq!(topo.has_input_port(id, dir), mesh.has_input_port(id, dir));
+                assert!(!topo.is_wrap_link(id, dir));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_all_four_edges() {
+        let t = Topology::torus(4, 4);
+        // SW corner: West wraps to the east edge, South wraps to the north.
+        assert_eq!(t.neighbor(NodeId(0), Direction::West), Some(NodeId(3)));
+        assert_eq!(t.neighbor(NodeId(0), Direction::South), Some(NodeId(12)));
+        assert_eq!(t.neighbor(NodeId(3), Direction::East), Some(NodeId(0)));
+        assert_eq!(t.neighbor(NodeId(15), Direction::North), Some(NodeId(3)));
+        // Every torus router has all five ports.
+        for id in t.nodes() {
+            for dir in Direction::ALL {
+                assert!(t.has_input_port(id, dir));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wrap_links_only_at_edges() {
+        let t = Topology::torus(4, 4);
+        assert!(t.is_wrap_link(NodeId(0), Direction::West));
+        assert!(t.is_wrap_link(NodeId(0), Direction::South));
+        assert!(!t.is_wrap_link(NodeId(0), Direction::East));
+        assert!(t.is_wrap_link(NodeId(3), Direction::East));
+        assert!(!t.is_wrap_link(NodeId(5), Direction::East));
+        assert!(!t.is_wrap_link(NodeId(5), Direction::West));
+    }
+
+    #[test]
+    fn ring_has_only_east_west_ports() {
+        let r = Topology::ring(4, 4);
+        for id in r.nodes() {
+            assert!(r.has_input_port(id, Direction::East));
+            assert!(r.has_input_port(id, Direction::West));
+            assert!(r.has_input_port(id, Direction::Local));
+            assert!(!r.has_input_port(id, Direction::North));
+            assert!(!r.has_input_port(id, Direction::South));
+        }
+        assert_eq!(r.neighbor(NodeId(15), Direction::East), Some(NodeId(0)));
+        assert_eq!(r.neighbor(NodeId(0), Direction::West), Some(NodeId(15)));
+        assert!(r.is_wrap_link(NodeId(15), Direction::East));
+        assert!(r.is_wrap_link(NodeId(0), Direction::West));
+        assert!(!r.is_wrap_link(NodeId(7), Direction::East));
+    }
+
+    #[test]
+    fn torus_takes_shorter_wrap() {
+        let t = Topology::torus(4, 4);
+        // 0 -> 3 is 3 hops east but 1 hop west around the wrap.
+        assert_eq!(t.next_hop(NodeId(0), NodeId(3)), Direction::West);
+        assert_eq!(
+            t.route_path(NodeId(0), NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(3)]
+        );
+        assert_eq!(t.min_distance(NodeId(0), NodeId(3)), Some(1));
+        // Opposite corners: 2 hops on the torus vs 6 on the mesh.
+        assert_eq!(t.min_distance(NodeId(0), NodeId(15)), Some(2));
+        // Equidistant ties break East then North.
+        assert_eq!(t.next_hop(NodeId(0), NodeId(2)), Direction::East);
+        assert_eq!(t.next_hop(NodeId(0), NodeId(8)), Direction::North);
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_errors_not_panics() {
+        let t = Topology::mesh(2, 2);
+        assert_eq!(t.coord(NodeId(4)), None);
+        assert_eq!(t.neighbor(NodeId(4), Direction::East), None);
+        assert_eq!(t.min_distance(NodeId(0), NodeId(4)), None);
+        assert!(matches!(
+            t.route_path(NodeId(0), NodeId(4)),
+            Err(TopologyError::NodeOutOfRange {
+                node: NodeId(4),
+                node_count: 4
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn coord_unchecked_panics_out_of_range() {
+        Topology::mesh(2, 2).coord_unchecked(NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "route_path_unchecked")]
+    fn route_path_unchecked_panics_out_of_range() {
+        Topology::ring(2, 2).route_path_unchecked(NodeId(0), NodeId(9));
+    }
+
+    mod routing_invariants {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn assert_valid_minimal_route(topo: &Topology, src: NodeId, dst: NodeId) {
+            let path = topo.route_path(src, dst).unwrap();
+            assert_eq!(*path.first().unwrap(), src);
+            assert_eq!(*path.last().unwrap(), dst);
+            // Every consecutive pair is joined by a real link.
+            for w in path.windows(2) {
+                let adjacent = Direction::CARDINAL
+                    .into_iter()
+                    .any(|d| topo.neighbor(w[0], d) == Some(w[1]));
+                assert!(adjacent, "{} -> {} is not a link of {}", w[0], w[1], topo);
+            }
+            // The route respects the minimal (wraparound-aware) distance.
+            assert_eq!(path.len(), topo.min_distance(src, dst).unwrap() + 1);
+        }
+
+        proptest! {
+            #[test]
+            fn torus_routes_are_valid_adjacent_and_minimal(
+                src in 0usize..64, dst in 0usize..64
+            ) {
+                let t = Topology::torus(8, 8);
+                assert_valid_minimal_route(&t, NodeId(src), NodeId(dst));
+            }
+
+            #[test]
+            fn ring_routes_are_valid_adjacent_and_minimal(
+                src in 0usize..16, dst in 0usize..16
+            ) {
+                let r = Topology::ring(4, 4);
+                assert_valid_minimal_route(&r, NodeId(src), NodeId(dst));
+            }
+
+            #[test]
+            fn rectangular_torus_routes_hold(
+                src in 0usize..32, dst in 0usize..32
+            ) {
+                let t = Topology::torus(4, 8);
+                assert_valid_minimal_route(&t, NodeId(src), NodeId(dst));
+            }
+
+            #[test]
+            fn mesh_paths_bit_identical_to_seed(
+                src in 0usize..64, dst in 0usize..64
+            ) {
+                let mesh = Mesh::new(8, 8);
+                let topo = Topology::mesh(8, 8);
+                let seed_path = crate::routing::route_path(NodeId(src), NodeId(dst), &mesh);
+                let topo_path = topo.route_path(NodeId(src), NodeId(dst)).unwrap();
+                prop_assert_eq!(seed_path, topo_path);
+                prop_assert_eq!(
+                    crate::routing::xy_next_hop(NodeId(src), NodeId(dst), 8),
+                    topo.next_hop(NodeId(src), NodeId(dst))
+                );
+            }
+        }
     }
 }

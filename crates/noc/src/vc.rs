@@ -185,6 +185,19 @@ impl InputPort {
         self.vcs.iter().position(|v| !v.allocated && v.is_empty())
     }
 
+    /// Finds a free VC with index `start` or higher. The network restricts
+    /// wraparound (dateline) hops on torus/ring topologies to the upper VC
+    /// class this way, breaking the cyclic channel dependency a ring would
+    /// otherwise create. `free_vc_from(0)` is exactly [`InputPort::free_vc`].
+    pub fn free_vc_from(&self, start: usize) -> Option<usize> {
+        self.vcs
+            .iter()
+            .enumerate()
+            .skip(start)
+            .find(|(_, v)| !v.allocated && v.is_empty())
+            .map(|(i, _)| i)
+    }
+
     /// The cumulative Buffer Operation Count (reads + writes) since the last
     /// reset. This is the accumulated feature DL2Fence samples for
     /// localization.
@@ -281,6 +294,17 @@ mod tests {
         assert_eq!(port.free_vc(), Some(1));
         port.vc_mut(1).allocated = true;
         assert_eq!(port.free_vc(), None);
+    }
+
+    #[test]
+    fn free_vc_from_respects_lower_bound() {
+        let port = InputPort::new(Direction::North, 4, 2);
+        assert_eq!(port.free_vc_from(0), port.free_vc());
+        assert_eq!(port.free_vc_from(2), Some(2));
+        assert_eq!(port.free_vc_from(4), None);
+        let mut port = InputPort::new(Direction::North, 4, 2);
+        port.vc_mut(2).allocated = true;
+        assert_eq!(port.free_vc_from(2), Some(3));
     }
 
     #[test]

@@ -164,7 +164,9 @@ pub fn run_soak(options: &SoakOptions) -> Result<SoakReport, String> {
     // ---- Load generation: the campaign engine produces the traffic. ----
     let mut spec = options.spec.clone();
     spec.sim.collect_samples = true;
-    spec.grid.mesh.truncate(1); // one served shape per soak
+    // One served shape per soak, whichever axis the spec used.
+    spec.grid.topology.truncate(1);
+    spec.grid.mesh.truncate(1);
     let mesh = *spec
         .grid
         .mesh

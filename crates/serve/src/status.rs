@@ -4,8 +4,9 @@
 use dl2fence_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 
-/// Schema tag stamped into every [`ServeStatus`].
-pub const STATUS_SCHEMA: &str = "dl2fence-serve/status/v1";
+/// Schema tag stamped into every [`ServeStatus`]. Defined once in
+/// [`dl2fence_telemetry::schema`] alongside every other artifact schema.
+pub use dl2fence_telemetry::schema::STATUS_SCHEMA;
 
 /// One latency distribution summarized to the quantiles the SLOs bind.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -36,6 +36,7 @@
 mod event;
 mod hist;
 mod recorder;
+pub mod schema;
 mod sink;
 
 pub use event::{Event, EventData, ParseError};

@@ -1,0 +1,212 @@
+//! Multi-source distributed DoS with coordinated, staggered injection.
+//!
+//! Modeled after the topology-aware distributed NoC DoS of Weerasena et
+//! al. 2025: several malicious nodes spread over the topology coordinate
+//! against one victim, each contributing only a fraction of the aggregate
+//! flooding rate so that no single source crosses a per-node detection
+//! threshold. The sources take turns in a round-robin schedule — in cycle
+//! `c` only attacker `c % k` may fire, with probability `fir` — so the
+//! *aggregate* injection rate matches a single-source FDoS at the same FIR
+//! while each source averages `fir / k`.
+
+use crate::generator::TrafficGenerator;
+use noc_sim::flit::TrafficClass;
+use noc_sim::{Network, NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A coordinated distributed DoS attack: `k` sources share one victim and
+/// one aggregate FIR via round-robin turn-taking.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::NodeId;
+/// use noc_traffic::DistributedAttack;
+///
+/// let attack = DistributedAttack::new(vec![NodeId(3), NodeId(12)], NodeId(5), 0.8);
+/// assert_eq!(attack.attackers().len(), 2);
+/// assert_eq!(attack.fir(), 0.8);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributedAttack {
+    attackers: Vec<NodeId>,
+    victim: NodeId,
+    fir: f64,
+    seed: u64,
+    #[serde(skip)]
+    rng: Option<ChaCha8Rng>,
+}
+
+impl DistributedAttack {
+    /// Creates a distributed attack by `attackers` against `victim` at an
+    /// *aggregate* flooding injection rate of `fir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fir` is outside `[0, 1]`, `attackers` is empty, or the
+    /// victim is listed as an attacker.
+    pub fn new(attackers: Vec<NodeId>, victim: NodeId, fir: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fir),
+            "FIR must be in [0, 1], got {fir}"
+        );
+        assert!(!attackers.is_empty(), "at least one attacker is required");
+        assert!(
+            !attackers.contains(&victim),
+            "the victim cannot also be an attacker"
+        );
+        DistributedAttack {
+            attackers,
+            victim,
+            fir,
+            seed: 0xDD05,
+            rng: None,
+        }
+    }
+
+    /// Overrides the RNG seed used for the Bernoulli injection decisions.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng = None;
+        self
+    }
+
+    /// The malicious nodes.
+    pub fn attackers(&self) -> &[NodeId] {
+        &self.attackers
+    }
+
+    /// The target victim node.
+    pub fn victim(&self) -> NodeId {
+        self.victim
+    }
+
+    /// The aggregate flooding injection rate in `[0, 1]`.
+    pub fn fir(&self) -> f64 {
+        self.fir
+    }
+
+    /// The ground-truth victim set: target plus routing-path victims of
+    /// every source.
+    pub fn routing_path_victims(&self, topology: &Topology) -> Vec<NodeId> {
+        crate::fdos::routing_path_victims(&self.attackers, self.victim, topology)
+    }
+
+    fn rng(&mut self) -> &mut ChaCha8Rng {
+        if self.rng.is_none() {
+            self.rng = Some(ChaCha8Rng::seed_from_u64(self.seed));
+        }
+        self.rng.as_mut().expect("just initialised")
+    }
+}
+
+impl TrafficGenerator for DistributedAttack {
+    fn inject(&mut self, network: &mut Network, cycle: u64) {
+        let victim = self.victim;
+        let fir = self.fir;
+        let k = self.attackers.len() as u64;
+        let designated = self.attackers[(cycle % k) as usize];
+        let fire = fir >= 1.0 || self.rng().gen_bool(fir);
+        if fire {
+            network.enqueue_with_class(designated, victim, cycle, TrafficClass::Malicious);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "DDoS {} source(s) -> {} @ aggregate FIR {:.2}",
+            self.attackers.len(),
+            self.victim,
+            self.fir
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NocConfig;
+
+    #[test]
+    fn aggregate_rate_matches_single_source_fdos() {
+        let cycles = 20_000u64;
+        let mut net = Network::new(NocConfig::mesh(8, 8));
+        let mut attack =
+            DistributedAttack::new(vec![NodeId(7), NodeId(56), NodeId(63)], NodeId(0), 0.6)
+                .with_seed(5);
+        for c in 0..cycles {
+            attack.inject(&mut net, c);
+        }
+        let created = net.stats().packets_created as f64;
+        let expected = 0.6 * cycles as f64;
+        assert!(
+            (created - expected).abs() < 0.05 * expected,
+            "aggregate {created} should be near {expected}"
+        );
+    }
+
+    #[test]
+    fn sources_take_turns_and_all_contribute() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        let sources = vec![NodeId(3), NodeId(12)];
+        let mut attack = DistributedAttack::new(sources.clone(), NodeId(0), 1.0);
+        for c in 0..100 {
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        net.run(2_000);
+        // FIR 1.0: one packet per cycle alternating between the two sources.
+        assert_eq!(net.stats().packets_created, 100);
+        assert!(net.stats().malicious_packets_received > 0);
+    }
+
+    #[test]
+    fn per_source_rate_stays_under_threshold() {
+        // 4 sources at aggregate FIR 0.8: each fires ~0.2/cycle, i.e. each
+        // source alone looks like a modest FDoS well under the aggregate.
+        let cycles = 40_000u64;
+        let sources = vec![NodeId(15), NodeId(48), NodeId(51), NodeId(60)];
+        let mut per_source = [0u64; 4];
+        let mut attack = DistributedAttack::new(sources.clone(), NodeId(0), 0.8).with_seed(9);
+        let mut net = Network::new(NocConfig::mesh(8, 8));
+        for c in 0..cycles {
+            let before = net.stats().packets_created;
+            attack.inject(&mut net, c);
+            if net.stats().packets_created > before {
+                per_source[(c % 4) as usize] += 1;
+            }
+        }
+        for (i, &count) in per_source.iter().enumerate() {
+            let rate = count as f64 / cycles as f64;
+            assert!(
+                (rate - 0.2).abs() < 0.02,
+                "source {i} rate {rate} should be near 0.2"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = |seed| {
+            let mut net = Network::new(NocConfig::mesh(4, 4));
+            let mut a =
+                DistributedAttack::new(vec![NodeId(3), NodeId(12)], NodeId(0), 0.5).with_seed(seed);
+            for c in 0..1_000 {
+                a.inject(&mut net, c);
+                net.step();
+            }
+            net.stats().packets_created
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attacker")]
+    fn empty_sources_panic() {
+        DistributedAttack::new(vec![], NodeId(0), 0.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! The unified DoS attack surface: every attack family behind one enum.
+//!
+//! [`AttackScenario`](crate::AttackScenario) holds its ground-truth attacks
+//! as [`DosAttack`] values so the monitor and the campaign engine can treat
+//! flooding, distributed and stealth attackers uniformly — same attacker /
+//! victim / FIR accessors, same routing-path-victim ground truth, same
+//! seeding discipline.
+
+use crate::ddos::DistributedAttack;
+use crate::fdos::FloodingAttack;
+use crate::generator::TrafficGenerator;
+use crate::stealth::StealthAttack;
+use noc_sim::{Network, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The DoS attack families the campaign grid can sweep over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Single- or multi-source flooding at a fixed FIR
+    /// ([`FloodingAttack`]).
+    #[default]
+    Fdos,
+    /// Coordinated multi-source distributed DoS with round-robin
+    /// turn-taking ([`DistributedAttack`]).
+    Ddos,
+    /// Duty-cycled ramp-up flooding that stays under the FIR threshold
+    /// ([`StealthAttack`]).
+    Stealth,
+}
+
+impl AttackKind {
+    /// The lowercase spec-axis name (`"fdos"`, `"ddos"`, `"stealth"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Fdos => "fdos",
+            AttackKind::Ddos => "ddos",
+            AttackKind::Stealth => "stealth",
+        }
+    }
+}
+
+/// One configured DoS attack of any family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DosAttack {
+    /// A flooding (FDoS) attack.
+    Flooding(FloodingAttack),
+    /// A distributed multi-source attack.
+    Distributed(DistributedAttack),
+    /// A stealthy duty-cycle / ramp-up attack.
+    Stealth(StealthAttack),
+}
+
+impl DosAttack {
+    /// The family this attack belongs to.
+    pub fn kind(&self) -> AttackKind {
+        match self {
+            DosAttack::Flooding(_) => AttackKind::Fdos,
+            DosAttack::Distributed(_) => AttackKind::Ddos,
+            DosAttack::Stealth(_) => AttackKind::Stealth,
+        }
+    }
+
+    /// The malicious nodes.
+    pub fn attackers(&self) -> &[NodeId] {
+        match self {
+            DosAttack::Flooding(a) => a.attackers(),
+            DosAttack::Distributed(a) => a.attackers(),
+            DosAttack::Stealth(a) => a.attackers(),
+        }
+    }
+
+    /// The target victim node.
+    pub fn victim(&self) -> NodeId {
+        match self {
+            DosAttack::Flooding(a) => a.victim(),
+            DosAttack::Distributed(a) => a.victim(),
+            DosAttack::Stealth(a) => a.victim(),
+        }
+    }
+
+    /// The (peak/aggregate) flooding injection rate in `[0, 1]`.
+    pub fn fir(&self) -> f64 {
+        match self {
+            DosAttack::Flooding(a) => a.fir(),
+            DosAttack::Distributed(a) => a.fir(),
+            DosAttack::Stealth(a) => a.fir(),
+        }
+    }
+
+    /// Overrides the RNG seed used for the injection decisions.
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            DosAttack::Flooding(a) => DosAttack::Flooding(a.with_seed(seed)),
+            DosAttack::Distributed(a) => DosAttack::Distributed(a.with_seed(seed)),
+            DosAttack::Stealth(a) => DosAttack::Stealth(a.with_seed(seed)),
+        }
+    }
+
+    /// The ground-truth victim set: target plus routing-path victims.
+    pub fn routing_path_victims(&self, topology: &Topology) -> Vec<NodeId> {
+        crate::fdos::routing_path_victims(self.attackers(), self.victim(), topology)
+    }
+}
+
+impl From<FloodingAttack> for DosAttack {
+    fn from(a: FloodingAttack) -> Self {
+        DosAttack::Flooding(a)
+    }
+}
+
+impl From<DistributedAttack> for DosAttack {
+    fn from(a: DistributedAttack) -> Self {
+        DosAttack::Distributed(a)
+    }
+}
+
+impl From<StealthAttack> for DosAttack {
+    fn from(a: StealthAttack) -> Self {
+        DosAttack::Stealth(a)
+    }
+}
+
+impl TrafficGenerator for DosAttack {
+    fn inject(&mut self, network: &mut Network, cycle: u64) {
+        match self {
+            DosAttack::Flooding(a) => a.inject(network, cycle),
+            DosAttack::Distributed(a) => a.inject(network, cycle),
+            DosAttack::Stealth(a) => a.inject(network, cycle),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            DosAttack::Flooding(a) => TrafficGenerator::name(a),
+            DosAttack::Distributed(a) => TrafficGenerator::name(a),
+            DosAttack::Stealth(a) => TrafficGenerator::name(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_accessors_dispatch() {
+        let f: DosAttack = FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.8).into();
+        let d: DosAttack =
+            DistributedAttack::new(vec![NodeId(3), NodeId(12)], NodeId(0), 0.8).into();
+        let s: DosAttack = StealthAttack::new(vec![NodeId(3)], NodeId(0), 0.8).into();
+        assert_eq!(f.kind(), AttackKind::Fdos);
+        assert_eq!(d.kind(), AttackKind::Ddos);
+        assert_eq!(s.kind(), AttackKind::Stealth);
+        for a in [&f, &d, &s] {
+            assert_eq!(a.victim(), NodeId(0));
+            assert_eq!(a.fir(), 0.8);
+            assert!(a.attackers().contains(&NodeId(3)));
+        }
+        assert_eq!(d.attackers().len(), 2);
+    }
+
+    #[test]
+    fn rpv_dispatches_through_the_enum() {
+        let mesh = Topology::mesh(4, 4);
+        let f: DosAttack = FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.8).into();
+        assert_eq!(
+            f.routing_path_victims(&mesh),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn attack_kind_names_round_trip_style() {
+        assert_eq!(AttackKind::Fdos.name(), "fdos");
+        assert_eq!(AttackKind::Ddos.name(), "ddos");
+        assert_eq!(AttackKind::Stealth.name(), "stealth");
+        assert_eq!(AttackKind::default(), AttackKind::Fdos);
+    }
+}

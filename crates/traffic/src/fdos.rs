@@ -16,23 +16,46 @@
 
 use crate::generator::TrafficGenerator;
 use noc_sim::flit::TrafficClass;
-use noc_sim::routing::route_path;
-use noc_sim::{Mesh, Network, NodeId};
+use noc_sim::{Network, NodeId, Topology};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// The ground-truth set of victims of an attack: the target victim plus
+/// every routing-path victim (RPV) on the minimal route of each attacker,
+/// excluding the attackers themselves. Sorted and deduplicated.
+///
+/// # Panics
+///
+/// Panics if the victim or an attacker lies outside the topology.
+pub fn routing_path_victims(
+    attackers: &[NodeId],
+    victim: NodeId,
+    topology: &Topology,
+) -> Vec<NodeId> {
+    let mut victims: Vec<NodeId> = Vec::new();
+    for &a in attackers {
+        for node in topology.route_path_unchecked(a, victim) {
+            if !attackers.contains(&node) && !victims.contains(&node) {
+                victims.push(node);
+            }
+        }
+    }
+    victims.sort();
+    victims
+}
 
 /// A flooding DoS attack configuration: attacker nodes, a victim and the FIR.
 ///
 /// # Examples
 ///
 /// ```
-/// use noc_sim::{Mesh, NodeId};
+/// use noc_sim::{NodeId, Topology};
 /// use noc_traffic::FloodingAttack;
 ///
 /// let attack = FloodingAttack::new(vec![NodeId(104)], NodeId(0), 0.8);
-/// let rpv = attack.routing_path_victims(&Mesh::new(16, 16));
+/// let rpv = attack.routing_path_victims(&Topology::mesh(16, 16));
 /// assert!(rpv.contains(&NodeId(96)));   // the corner hop of the XY route
 /// assert!(rpv.contains(&NodeId(0)));    // the target victim
 /// assert!(!rpv.contains(&NodeId(104))); // the attacker itself is not a victim
@@ -97,19 +120,10 @@ impl FloodingAttack {
     }
 
     /// The ground-truth set of victims: the target victim plus every
-    /// routing-path victim (RPV) on the XY route of each attacker, excluding
-    /// the attackers themselves.
-    pub fn routing_path_victims(&self, mesh: &Mesh) -> Vec<NodeId> {
-        let mut victims: Vec<NodeId> = Vec::new();
-        for &a in &self.attackers {
-            for node in route_path(a, self.victim, mesh) {
-                if !self.attackers.contains(&node) && !victims.contains(&node) {
-                    victims.push(node);
-                }
-            }
-        }
-        victims.sort();
-        victims
+    /// routing-path victim (RPV) on the minimal route of each attacker,
+    /// excluding the attackers themselves.
+    pub fn routing_path_victims(&self, topology: &Topology) -> Vec<NodeId> {
+        routing_path_victims(&self.attackers, self.victim, topology)
     }
 
     fn rng(&mut self) -> &mut ChaCha8Rng {
@@ -191,7 +205,7 @@ mod tests {
 
     #[test]
     fn rpv_excludes_attacker_and_includes_victim() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Topology::mesh(4, 4);
         let attack = FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.5);
         let rpv = attack.routing_path_victims(&mesh);
         assert_eq!(rpv, vec![NodeId(0), NodeId(1), NodeId(2)]);
@@ -199,7 +213,7 @@ mod tests {
 
     #[test]
     fn rpv_merges_multiple_attackers() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Topology::mesh(4, 4);
         // Attackers at opposite row ends of victim 5.
         let attack = FloodingAttack::new(vec![NodeId(7), NodeId(4)], NodeId(5), 0.5);
         let rpv = attack.routing_path_victims(&mesh);
@@ -207,6 +221,14 @@ mod tests {
         assert!(rpv.contains(&NodeId(6)));
         assert!(!rpv.contains(&NodeId(7)));
         assert!(!rpv.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn rpv_follows_wrap_links_on_torus() {
+        let torus = Topology::torus(4, 4);
+        // On the torus, 3 -> 0 is one wrap hop: only the victim is an RPV.
+        let attack = FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.5);
+        assert_eq!(attack.routing_path_victims(&torus), vec![NodeId(0)]);
     }
 
     #[test]

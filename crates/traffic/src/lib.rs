@@ -13,9 +13,13 @@
 //!   traces),
 //! * the **refined flooding DoS model** ([`FloodingAttack`]) with a finely
 //!   adjustable Flooding Injection Rate (FIR) that overlays protocol-legal
-//!   malicious packets on top of benign traffic, and
+//!   malicious packets on top of benign traffic,
+//! * two further **attack families** behind the same [`DosAttack`] surface:
+//!   coordinated multi-source **distributed DoS** ([`DistributedAttack`],
+//!   after Weerasena et al. 2025) and **stealthy duty-cycle / ramp-up**
+//!   flooding that stays under the FIR threshold ([`StealthAttack`]), and
 //! * [`AttackScenario`], which combines a benign workload with zero or more
-//!   attackers and drives a simulation.
+//!   attackers and drives a simulation on any [`noc_sim::Topology`].
 //!
 //! ## Quick example
 //!
@@ -35,16 +39,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ddos;
+pub mod dos;
 pub mod fdos;
 pub mod generator;
 pub mod parsec;
 pub mod pattern;
 pub mod payload;
 pub mod scenario;
+pub mod stealth;
 
-pub use fdos::FloodingAttack;
+pub use ddos::DistributedAttack;
+pub use dos::{AttackKind, DosAttack};
+pub use fdos::{routing_path_victims, FloodingAttack};
 pub use generator::{BernoulliInjector, TrafficGenerator};
 pub use parsec::{ParsecPhase, ParsecWorkload};
 pub use pattern::SyntheticPattern;
 pub use payload::PayloadFloodingAttack;
 pub use scenario::{AttackScenario, AttackScenarioBuilder, BenignWorkload};
+pub use stealth::StealthAttack;

@@ -1,7 +1,7 @@
 //! End-to-end attack scenarios: a benign workload overlaid with zero or more
-//! flooding attacks, driving one [`Network`].
+//! DoS attacks (flooding, distributed or stealth), driving one [`Network`].
 
-use crate::fdos::FloodingAttack;
+use crate::dos::DosAttack;
 use crate::generator::{BernoulliInjector, TrafficGenerator};
 use crate::parsec::{ParsecGenerator, ParsecWorkload};
 use crate::pattern::SyntheticPattern;
@@ -45,7 +45,7 @@ impl BenignWorkload {
 pub struct AttackScenarioBuilder {
     config: NocConfig,
     benign: BenignWorkload,
-    attacks: Vec<FloodingAttack>,
+    attacks: Vec<DosAttack>,
     seed: u64,
 }
 
@@ -68,9 +68,11 @@ impl AttackScenarioBuilder {
         self
     }
 
-    /// Adds a flooding attack overlay.
-    pub fn attack(mut self, attack: FloodingAttack) -> Self {
-        self.attacks.push(attack);
+    /// Adds a DoS attack overlay of any family ([`crate::FloodingAttack`],
+    /// [`crate::DistributedAttack`], [`crate::StealthAttack`] or a
+    /// pre-built [`DosAttack`]).
+    pub fn attack(mut self, attack: impl Into<DosAttack>) -> Self {
+        self.attacks.push(attack.into());
         self
     }
 
@@ -92,7 +94,7 @@ impl AttackScenarioBuilder {
         for (i, attack) in self.attacks.into_iter().enumerate() {
             let seeded = attack.with_seed(self.seed.wrapping_add(1 + i as u64));
             ground_truth_attacks.push(seeded.clone());
-            generators.push(Box::new(seeded));
+            generators.push(Box::new(seeded) as Box<dyn TrafficGenerator>);
         }
         AttackScenario {
             benign: self.benign,
@@ -124,7 +126,7 @@ pub struct AttackScenario {
     benign: BenignWorkload,
     network: Network,
     generators: Vec<Box<dyn TrafficGenerator>>,
-    attacks: Vec<FloodingAttack>,
+    attacks: Vec<DosAttack>,
 }
 
 impl AttackScenario {
@@ -154,8 +156,8 @@ impl AttackScenario {
         &mut self.network
     }
 
-    /// The configured flooding attacks (ground truth).
-    pub fn attacks(&self) -> &[FloodingAttack] {
+    /// The configured DoS attacks (ground truth).
+    pub fn attacks(&self) -> &[DosAttack] {
         &self.attacks
     }
 
@@ -196,11 +198,11 @@ impl AttackScenario {
     /// The ground-truth victim set (target victims plus routing-path
     /// victims across all attacks).
     pub fn victim_nodes(&self) -> Vec<NodeId> {
-        let mesh = self.network.mesh();
+        let topology = self.network.topology();
         let mut out: Vec<NodeId> = self
             .attacks
             .iter()
-            .flat_map(|a| a.routing_path_victims(&mesh))
+            .flat_map(|a| a.routing_path_victims(topology))
             .collect();
         out.sort();
         out.dedup();
@@ -239,6 +241,41 @@ impl std::fmt::Debug for AttackScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ddos::DistributedAttack;
+    use crate::fdos::FloodingAttack;
+    use crate::stealth::StealthAttack;
+
+    #[test]
+    fn mixed_attack_families_coexist() {
+        let s = AttackScenario::builder(NocConfig::mesh(4, 4))
+            .attack(FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.8))
+            .attack(DistributedAttack::new(
+                vec![NodeId(12), NodeId(15)],
+                NodeId(0),
+                0.6,
+            ))
+            .attack(StealthAttack::new(vec![NodeId(7)], NodeId(0), 0.4))
+            .build();
+        assert!(s.is_under_attack());
+        assert_eq!(s.attacks().len(), 3);
+        assert_eq!(
+            s.attacker_nodes(),
+            vec![NodeId(3), NodeId(7), NodeId(12), NodeId(15)]
+        );
+        assert!(s.attack_pairs().contains(&(NodeId(12), NodeId(0))));
+    }
+
+    #[test]
+    fn torus_scenario_uses_wrap_aware_ground_truth() {
+        let mut s = AttackScenario::builder(NocConfig::torus(4, 4))
+            .attack(FloodingAttack::new(vec![NodeId(3)], NodeId(0), 0.8))
+            .seed(7)
+            .build();
+        // 3 -> 0 is one wrap hop on the torus: the only victim is the target.
+        assert_eq!(s.victim_nodes(), vec![NodeId(0)]);
+        s.run(500);
+        assert!(s.network().stats().malicious_packets_received > 0);
+    }
 
     #[test]
     fn benign_only_scenario_has_no_attack() {

@@ -1,0 +1,246 @@
+//! Stealthy duty-cycle / ramp-up flooding that stays under the FIR
+//! threshold.
+//!
+//! A threshold detector watching the per-source injection rate is blind to
+//! two evasions the refined-DoS literature describes:
+//!
+//! * **ramp-up** — the attacker grows its rate slowly from zero, so any
+//!   detector calibrated on a step change sees only a drifting baseline;
+//! * **duty cycling** — the attacker pulses (on for `duty_on` cycles out of
+//!   every `duty_period`), keeping its *average* rate at a fraction of the
+//!   peak while still causing periodic congestion at the victim.
+//!
+//! [`StealthAttack`] composes both: the effective injection probability at
+//! cycle `c` is `fir * min(1, c / ramp_cycles)` inside the duty window and
+//! zero outside it. With the defaults (50% duty) the long-run average rate
+//! is half the configured peak FIR.
+
+use crate::generator::TrafficGenerator;
+use noc_sim::flit::TrafficClass;
+use noc_sim::{Network, NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stealthy flooding attack: linear ramp-up to a peak FIR, pulsed by a
+/// duty cycle.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::NodeId;
+/// use noc_traffic::StealthAttack;
+///
+/// let attack = StealthAttack::new(vec![NodeId(15)], NodeId(0), 0.8)
+///     .with_ramp(500)
+///     .with_duty(100, 40);
+/// // Peak FIR 0.8, but 40/100 duty ⇒ long-run average 0.32.
+/// assert!((attack.average_fir() - 0.32).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StealthAttack {
+    attackers: Vec<NodeId>,
+    victim: NodeId,
+    fir: f64,
+    ramp_cycles: u64,
+    duty_period: u64,
+    duty_on: u64,
+    seed: u64,
+    #[serde(skip)]
+    rng: Option<ChaCha8Rng>,
+}
+
+impl StealthAttack {
+    /// Creates a stealth attack by `attackers` against `victim` with peak
+    /// flooding injection rate `fir`, a 1000-cycle ramp and a 100-on /
+    /// 200-cycle duty window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fir` is outside `[0, 1]`, `attackers` is empty, or the
+    /// victim is listed as an attacker.
+    pub fn new(attackers: Vec<NodeId>, victim: NodeId, fir: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fir),
+            "FIR must be in [0, 1], got {fir}"
+        );
+        assert!(!attackers.is_empty(), "at least one attacker is required");
+        assert!(
+            !attackers.contains(&victim),
+            "the victim cannot also be an attacker"
+        );
+        StealthAttack {
+            attackers,
+            victim,
+            fir,
+            ramp_cycles: 1_000,
+            duty_period: 200,
+            duty_on: 100,
+            seed: 0x57EA,
+            rng: None,
+        }
+    }
+
+    /// Sets the ramp-up length in cycles (0 disables the ramp).
+    pub fn with_ramp(mut self, ramp_cycles: u64) -> Self {
+        self.ramp_cycles = ramp_cycles;
+        self
+    }
+
+    /// Sets the duty cycle: active for `on` cycles out of every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `on > period`.
+    pub fn with_duty(mut self, period: u64, on: u64) -> Self {
+        assert!(period > 0, "duty period must be non-zero");
+        assert!(on <= period, "duty on-time cannot exceed the period");
+        self.duty_period = period;
+        self.duty_on = on;
+        self
+    }
+
+    /// Overrides the RNG seed used for the Bernoulli injection decisions.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng = None;
+        self
+    }
+
+    /// The malicious nodes.
+    pub fn attackers(&self) -> &[NodeId] {
+        &self.attackers
+    }
+
+    /// The target victim node.
+    pub fn victim(&self) -> NodeId {
+        self.victim
+    }
+
+    /// The peak flooding injection rate in `[0, 1]`.
+    pub fn fir(&self) -> f64 {
+        self.fir
+    }
+
+    /// The long-run average injection rate once the ramp has completed:
+    /// peak FIR scaled by the duty cycle.
+    pub fn average_fir(&self) -> f64 {
+        self.fir * self.duty_on as f64 / self.duty_period as f64
+    }
+
+    /// The effective per-attacker injection probability at `cycle`.
+    pub fn effective_fir(&self, cycle: u64) -> f64 {
+        if cycle % self.duty_period >= self.duty_on {
+            return 0.0;
+        }
+        let ramp = if self.ramp_cycles == 0 {
+            1.0
+        } else {
+            (cycle as f64 / self.ramp_cycles as f64).min(1.0)
+        };
+        self.fir * ramp
+    }
+
+    /// The ground-truth victim set: target plus routing-path victims.
+    pub fn routing_path_victims(&self, topology: &Topology) -> Vec<NodeId> {
+        crate::fdos::routing_path_victims(&self.attackers, self.victim, topology)
+    }
+
+    fn rng(&mut self) -> &mut ChaCha8Rng {
+        if self.rng.is_none() {
+            self.rng = Some(ChaCha8Rng::seed_from_u64(self.seed));
+        }
+        self.rng.as_mut().expect("just initialised")
+    }
+}
+
+impl TrafficGenerator for StealthAttack {
+    fn inject(&mut self, network: &mut Network, cycle: u64) {
+        let eff = self.effective_fir(cycle);
+        if eff <= 0.0 {
+            return;
+        }
+        let victim = self.victim;
+        let attackers = self.attackers.clone();
+        for attacker in attackers {
+            let fire = eff >= 1.0 || self.rng().gen_bool(eff);
+            if fire {
+                network.enqueue_with_class(attacker, victim, cycle, TrafficClass::Malicious);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Stealth {} attacker(s) -> {} @ peak FIR {:.2}, ramp {}, duty {}/{}",
+            self.attackers.len(),
+            self.victim,
+            self.fir,
+            self.ramp_cycles,
+            self.duty_on,
+            self.duty_period
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NocConfig;
+
+    #[test]
+    fn effective_fir_ramps_then_pulses() {
+        let a = StealthAttack::new(vec![NodeId(15)], NodeId(0), 0.8)
+            .with_ramp(1_000)
+            .with_duty(200, 100);
+        assert_eq!(a.effective_fir(0), 0.0); // ramp starts at zero
+        assert!((a.effective_fir(50) - 0.8 * 0.05).abs() < 1e-9);
+        assert_eq!(a.effective_fir(150), 0.0); // duty off-phase
+        assert!((a.effective_fir(2_000) - 0.8).abs() < 1e-9); // fully ramped, on-phase
+        assert_eq!(a.effective_fir(2_150), 0.0);
+    }
+
+    #[test]
+    fn average_rate_stays_under_peak() {
+        let cycles = 40_000u64;
+        let mut net = Network::new(NocConfig::mesh(8, 8));
+        let mut attack = StealthAttack::new(vec![NodeId(63)], NodeId(0), 0.8)
+            .with_ramp(1_000)
+            .with_duty(200, 100)
+            .with_seed(3);
+        for c in 0..cycles {
+            attack.inject(&mut net, c);
+        }
+        let rate = net.stats().packets_created as f64 / cycles as f64;
+        // Long-run average ≈ 0.4 (half the peak), clearly under FIR 0.8.
+        assert!(rate < 0.45, "stealth rate {rate} should stay under 0.45");
+        assert!(rate > 0.3, "stealth rate {rate} should still flood");
+    }
+
+    #[test]
+    fn zero_ramp_starts_at_peak() {
+        let a = StealthAttack::new(vec![NodeId(1)], NodeId(0), 0.5).with_ramp(0);
+        assert_eq!(a.effective_fir(0), 0.5);
+    }
+
+    #[test]
+    fn packets_are_labelled_malicious() {
+        let mut net = Network::new(NocConfig::mesh(4, 4));
+        let mut attack = StealthAttack::new(vec![NodeId(3)], NodeId(0), 1.0)
+            .with_ramp(0)
+            .with_duty(10, 10);
+        for c in 0..200 {
+            attack.inject(&mut net, c);
+            net.step();
+        }
+        net.run(1_000);
+        assert!(net.stats().malicious_packets_received > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "on-time cannot exceed")]
+    fn invalid_duty_panics() {
+        StealthAttack::new(vec![NodeId(1)], NodeId(0), 0.5).with_duty(10, 11);
+    }
+}
